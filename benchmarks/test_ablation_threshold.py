@@ -1,0 +1,44 @@
+"""Ablation — sensitivity of the major-factor threshold.
+
+The paper (section IV-A): "We test the threshold between 0.3 to 0.5,
+and it does not qualitatively affect the relative importance among
+delay factors."  This ablation recomputes the Table IV group ordering
+at thresholds 0.3, 0.4 and 0.5 and checks the ordering is stable.
+"""
+
+THRESHOLDS = (0.3, 0.4, 0.5)
+
+
+def build_ablation(campaigns):
+    lines = [f"{'trace':14s} {'thr':>4s} {'sender':>7s} {'recv':>5s} {'net':>4s}"]
+    orderings = {}
+    for name, result in campaigns.items():
+        per_threshold = {}
+        for threshold in THRESHOLDS:
+            counts = {"sender": 0, "receiver": 0, "network": 0}
+            for record in result.records:
+                for group in record.factors.major_groups(threshold):
+                    counts[group] += 1
+            per_threshold[threshold] = counts
+            lines.append(
+                f"{name:14s} {threshold:4.1f} {counts['sender']:7d} "
+                f"{counts['receiver']:5d} {counts['network']:4d}"
+            )
+        orderings[name] = per_threshold
+    return "\n".join(lines), orderings
+
+
+def test_threshold_ablation(campaigns, artifact_writer, benchmark):
+    text, orderings = benchmark(build_ablation, campaigns)
+    artifact_writer("ablation_threshold", text)
+    print("\n" + text)
+    for name, per_threshold in orderings.items():
+        # The qualitative ordering sender >= receiver >= network holds
+        # at every threshold (the paper's robustness claim).
+        for threshold, counts in per_threshold.items():
+            assert counts["sender"] >= counts["receiver"], (name, threshold)
+            assert counts["receiver"] >= counts["network"], (name, threshold)
+        # Counts shrink (weakly) as the threshold tightens.
+        for group in ("sender", "receiver", "network"):
+            series = [per_threshold[t][group] for t in THRESHOLDS]
+            assert series == sorted(series, reverse=True), (name, group)

@@ -1,0 +1,37 @@
+"""Figure 14 — sender vs receiver delay-ratio scatter per trace.
+
+Paper shape: network ratios near zero almost everywhere; vendor-trace
+transfers cluster at high sender ratios; Quagga transfers hug the
+x + y = 1 line (sender- or receiver-bound); the transfer's triggering
+end tends to carry the larger ratio.
+"""
+
+
+def build_scatter(campaigns):
+    lines = ["trace, episode, trigger, Rs, Rr, Rn"]
+    points = {name: [] for name in campaigns}
+    for name, result in campaigns.items():
+        for record in result.records:
+            rs, rr, rn = record.factors.group_vector
+            points[name].append((rs, rr, rn, record.trigger))
+            lines.append(
+                f"{name}, {record.episode}, {record.trigger}, "
+                f"{rs:.3f}, {rr:.3f}, {rn:.3f}"
+            )
+    return "\n".join(lines), points
+
+
+def test_fig14(campaigns, artifact_writer, benchmark):
+    text, points = benchmark(build_scatter, campaigns)
+    artifact_writer("fig14_scatter", text)
+    all_points = [p for pts in points.values() for p in pts]
+    print(f"\n{len(all_points)} scatter points across "
+          f"{len(points)} traces")
+    # Network ratio is near zero for the vast majority of transfers.
+    low_network = sum(1 for rs, rr, rn, _ in all_points if rn < 0.3)
+    assert low_network / len(all_points) > 0.8
+    # Sender-side ratios dominate overall (the paper's clustering).
+    sender_heavy = sum(1 for rs, rr, rn, _ in all_points if rs >= rr)
+    assert sender_heavy / len(all_points) > 0.5
+    # Receiver-bound transfers exist too (the x + y = 1 spread).
+    assert any(rr > 0.5 for _, rr, _, _ in all_points)

@@ -1,0 +1,34 @@
+"""Figure 15 — effect of concurrent table transfers on the receiver.
+
+Paper: with fewer than ~10 concurrent transfers the connections are
+slightly bounded by the TCP receiver window; as concurrency grows the
+receiving BGP process becomes the bottleneck and its delay ratio
+dominates.
+"""
+
+
+def build_figure(sweep):
+    lines = [f"{'concurrent':>10s} {'bgp_receiver':>13s} {'tcp_adv_wnd':>12s}"]
+    for k in sorted(sweep):
+        ratios = sweep[k]
+        lines.append(
+            f"{k:10d} {ratios['bgp_receiver_app']:13.3f} "
+            f"{ratios['tcp_advertised_window']:12.3f}"
+        )
+    return "\n".join(lines), sweep
+
+
+def test_fig15(concurrency_sweep, artifact_writer, benchmark):
+    text, sweep = benchmark(build_figure, concurrency_sweep)
+    artifact_writer("fig15_concurrent", text)
+    print("\n" + text)
+    ks = sorted(sweep)
+    low, high = ks[0], ks[-1]
+    # At low concurrency the TCP receiver window is the (slight) bound.
+    assert sweep[low]["tcp_advertised_window"] >= sweep[low]["bgp_receiver_app"]
+    # At high concurrency the BGP receiver process dominates.
+    assert sweep[high]["bgp_receiver_app"] > 0.5
+    assert sweep[high]["bgp_receiver_app"] > sweep[high]["tcp_advertised_window"]
+    # The BGP-receiver ratio grows (weakly) with concurrency.
+    bgp_series = [sweep[k]["bgp_receiver_app"] for k in ks]
+    assert bgp_series[-1] > bgp_series[0]

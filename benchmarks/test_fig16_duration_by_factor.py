@@ -1,0 +1,63 @@
+"""Figure 16 — transfer duration CDF broken down by major delay factor.
+
+Paper shape: TCP-receiver-window-limited transfers are the fastest
+(TCP keeps pumping every RTT, just with a bounded window), congestion-
+window-limited next; loss-limited transfers waste time in timeouts and
+are the slowest, with BGP-application-limited transfers also long.
+"""
+
+from collections import defaultdict
+
+import statistics
+
+FACTOR_BUCKETS = {
+    "tcp_advertised_window": "tcp-window",
+    "tcp_congestion_window": "tcp-cwnd",
+    "bgp_sender_app": "bgp-app",
+    "bgp_receiver_app": "bgp-app",
+    "receiver_local_loss": "loss",
+    "network_packet_loss": "loss",
+    "sender_local_loss": "loss",
+    "bandwidth_limited": "bandwidth",
+}
+
+
+def build_figure(campaigns):
+    durations = defaultdict(list)
+    for result in campaigns.values():
+        for record in result.records:
+            majors = record.factors.major_factors()
+            if not majors:
+                durations["unknown"].append(record.duration_s)
+                continue
+            for factor in majors.values():
+                durations[FACTOR_BUCKETS.get(factor, factor)].append(
+                    record.duration_s
+                )
+    lines = [f"{'factor':12s} {'n':>3s} {'median_s':>9s} {'max_s':>8s}"]
+    medians = {}
+    for bucket, values in sorted(durations.items()):
+        med = statistics.median(values)
+        medians[bucket] = med
+        lines.append(
+            f"{bucket:12s} {len(values):3d} {med:9.2f} {max(values):8.2f}"
+        )
+    return "\n".join(lines), medians
+
+
+def test_fig16(campaigns, artifact_writer, benchmark):
+    text, medians = benchmark(build_figure, campaigns)
+    artifact_writer("fig16_duration_by_factor", text)
+    print("\n" + text)
+    # Window-limited transfers are the fastest...
+    window_side = [
+        medians[b] for b in ("tcp-window", "tcp-cwnd") if b in medians
+    ]
+    assert window_side, "no window-limited transfers observed"
+    fastest_window = min(window_side)
+    # ...application-limited transfers are slower...
+    if "bgp-app" in medians:
+        assert medians["bgp-app"] > fastest_window
+    # ...and loss-limited transfers are slower than window-limited ones.
+    if "loss" in medians:
+        assert medians["loss"] > fastest_window

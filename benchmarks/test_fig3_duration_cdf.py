@@ -1,0 +1,43 @@
+"""Figure 3 — CDF of table transfer duration per trace.
+
+Paper shape: the majority of transfers finish within minutes; the
+Quagga and RV traces are slower than the vendor trace; a heavy tail
+reaches past 10 minutes.  Our simulated tables are ~40x smaller than a
+full 2010 table, so absolute durations scale down accordingly — the
+ordering and the heavy tail are the reproduced shape.
+"""
+
+from benchmarks.conftest import percentile
+
+QUANTILES = (0.1, 0.25, 0.5, 0.8, 0.9, 1.0)
+
+
+def build_cdf(campaigns):
+    lines = [
+        "duration CDF (seconds)",
+        f"{'trace':14s}" + "".join(f" p{int(q * 100):>3d}" for q in QUANTILES),
+    ]
+    stats = {}
+    for name, result in campaigns.items():
+        durations = result.durations_s()
+        row = [percentile(durations, q) for q in QUANTILES]
+        stats[name] = row
+        lines.append(
+            f"{name:14s}" + "".join(f" {v:7.2f}" for v in row)
+        )
+    return "\n".join(lines), stats
+
+
+def test_fig3(campaigns, artifact_writer, benchmark):
+    text, stats = benchmark(build_cdf, campaigns)
+    artifact_writer("fig3_duration_cdf", text)
+    print("\n" + text)
+    for name, row in stats.items():
+        median, worst = row[2], row[-1]
+        # Heavy tail: the slowest transfer is at least 5x the median.
+        assert worst >= 5 * median, f"{name} lacks a heavy tail"
+    # Transfers span orders of magnitude overall.
+    all_durations = [
+        d for result in campaigns.values() for d in result.durations_s()
+    ]
+    assert max(all_durations) / max(min(all_durations), 1e-9) > 50

@@ -1,0 +1,54 @@
+"""Figure 4 — stretch of table transfers per router-collector pair.
+
+Paper: for each router with more than two transfers of similar size,
+the stretch ratio = slowest / fastest duration.  Routers commonly send
+the same table 2-5x slower than their own best; the tail exceeds an
+order of magnitude.
+"""
+
+from collections import defaultdict
+
+from benchmarks.conftest import percentile
+
+
+def build_stretch(campaigns):
+    lines = [f"{'trace':14s} {'router':22s} {'n':>3s} {'stretch':>9s}"]
+    ratios_by_trace = {}
+    for name, result in campaigns.items():
+        by_router = defaultdict(list)
+        for record in result.records:
+            by_router[(record.router, record.table_prefixes)].append(
+                record.duration_s
+            )
+        ratios = []
+        for (router, prefixes), durations in sorted(by_router.items()):
+            if len(durations) < 2:
+                continue
+            ratio = max(durations) / max(min(durations), 1e-9)
+            ratios.append(ratio)
+            lines.append(
+                f"{name:14s} {router + f'/{prefixes}':22s} "
+                f"{len(durations):3d} {ratio:9.1f}"
+            )
+        ratios_by_trace[name] = sorted(ratios)
+    lines.append("")
+    lines.append("stretch CDF per trace:")
+    for name, ratios in ratios_by_trace.items():
+        if ratios:
+            lines.append(
+                f"  {name:14s} p50={percentile(ratios, 0.5):6.1f} "
+                f"max={ratios[-1]:6.1f} (n={len(ratios)})"
+            )
+    return "\n".join(lines), ratios_by_trace
+
+
+def test_fig4(campaigns, artifact_writer, benchmark):
+    text, ratios_by_trace = benchmark(build_stretch, campaigns)
+    artifact_writer("fig4_stretch", text)
+    print("\n" + text)
+    all_ratios = [r for ratios in ratios_by_trace.values() for r in ratios]
+    assert all_ratios, "no router had comparable repeat transfers"
+    # Some routers send the same table at least 2x slower than their best.
+    assert any(r >= 2 for r in all_ratios)
+    # The distribution tail exceeds an order of magnitude.
+    assert max(all_ratios) > 10

@@ -1,0 +1,35 @@
+"""Table I — summary of the BGP/TCP datasets and identified transfers.
+
+Paper columns: trace name, type, collector, packets/bytes, routers and
+the number of identified table transfers.  Ours are scaled-down
+simulated campaigns; the row structure and relative magnitudes
+(Vendor > Quagga > RV in transfer counts) are what must reproduce.
+"""
+
+
+def build_table(campaigns):
+    lines = [
+        f"{'Trace':14s} {'Collector':9s} {'#Rtrs':>5s} {'#Pkts':>8s} "
+        f"{'Bytes':>12s} {'#Transfers':>10s}"
+    ]
+    rows = {}
+    for name, result in campaigns.items():
+        rows[name] = len(result.records)
+        lines.append(
+            f"{name:14s} {result.collector_kind:9s} {result.routers:5d} "
+            f"{result.total_packets:8d} {result.total_bytes:12d} "
+            f"{len(result.records):10d}"
+        )
+    return "\n".join(lines), rows
+
+
+def test_table1(campaigns, artifact_writer, benchmark):
+    text, rows = benchmark(build_table, campaigns)
+    artifact_writer("table1_datasets", text)
+    print("\n" + text)
+    # Shape: the vendor trace has the most transfers (the paper's
+    # vendor bug made it an outlier), RV the fewest.
+    assert rows["ISP_A-Vendor"] > rows["ISP_A-Quagga"] > rows["RV"]
+    for result in campaigns.values():
+        assert result.total_packets > 0
+        assert result.total_bytes > 0

@@ -1,0 +1,59 @@
+"""Analyzer throughput (paper section V-C).
+
+The paper's Perl prototype processed the 47GB RouteViews trace in 64
+minutes — 26 seconds per TCP connection on average.  This benchmark
+times the full T-DAT pipeline (parse + label + shift + series +
+factors + detectors) on one moderately sized captured connection.
+"""
+
+import random
+
+from repro.analysis.tdat import analyze_pcap
+from repro.bgp.table import generate_table
+from repro.core.units import seconds
+from repro.netsim.link import BernoulliLoss
+from repro.netsim.random import RandomStreams
+from repro.netsim.simulator import Simulator
+from repro.wire.pcap import records_to_bytes
+from repro.workloads.scenarios import MonitoringSetup, RouterParams
+
+
+def make_capture():
+    sim = Simulator()
+    streams = RandomStreams(777)
+    setup = MonitoringSetup(sim)
+    table = generate_table(60_000, random.Random(77))
+    setup.add_router(
+        RouterParams(
+            name="r1",
+            ip="10.99.0.1",
+            table=table,
+            upstream_loss=BernoulliLoss(0.01, streams.stream("loss")),
+        )
+    )
+    setup.start()
+    sim.run(until_us=seconds(600))
+    return setup.sniffer.sorted_records()
+
+
+def test_analyzer_throughput(artifact_writer, benchmark):
+    records = make_capture()
+    blob = records_to_bytes(records)
+
+    def analyze():
+        import io
+
+        return analyze_pcap(io.BytesIO(blob))
+
+    report = benchmark(analyze)
+    assert len(report) == 1
+    analysis = next(iter(report))
+    packets = analysis.connection.profile.total_data_packets
+    text = (
+        f"capture: {len(records)} frames, {len(blob)} pcap bytes\n"
+        f"connection: {packets} data packets\n"
+        "full pipeline timing: see pytest-benchmark table\n"
+        "(paper's Perl prototype: ~26s per connection)"
+    )
+    artifact_writer("throughput", text)
+    print("\n" + text)

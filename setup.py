@@ -1,0 +1,5 @@
+"""Legacy setup shim for environments without wheel build support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Flight grouping: split packet timelines on inter-arrival gaps.
+
+Both the ACK-shift step and the congestion-window inference reason
+about *flights* — bursts of packets separated by quiet periods, the
+grouping technique of Zhang et al. [38] that the paper adopts for ACKs
+as well as data.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.profile import TracePacket
+
+
+def flight_gap_threshold_us(rtt_us: int, floor_us: int = 1_000) -> int:
+    """The default split threshold: half an RTT, floored at 1 ms."""
+    return max(rtt_us // 2, floor_us)
+
+
+def group_flights(
+    packets: list[TracePacket], gap_threshold_us: int
+) -> list[list[TracePacket]]:
+    """Partition time-ordered packets into flights.
+
+    A gap of more than ``gap_threshold_us`` between consecutive packets
+    starts a new flight.
+    """
+    if gap_threshold_us <= 0:
+        raise ValueError(f"non-positive threshold {gap_threshold_us}")
+    flights: list[list[TracePacket]] = []
+    current: list[TracePacket] = []
+    previous_time: int | None = None
+    for packet in packets:
+        if (
+            previous_time is not None
+            and packet.timestamp_us - previous_time > gap_threshold_us
+        ):
+            flights.append(current)
+            current = []
+        current.append(packet)
+        previous_time = packet.timestamp_us
+    if current:
+        flights.append(current)
+    return flights
+
+
+def flight_spans(
+    flights: list[list[TracePacket]],
+) -> list[tuple[int, int]]:
+    """The [first, last] timestamp of each flight."""
+    return [
+        (flight[0].timestamp_us, flight[-1].timestamp_us)
+        for flight in flights
+        if flight
+    ]

@@ -1,0 +1,67 @@
+"""Knee detection with the L-method (Salvador & Chan [27]).
+
+The timer-gap detector (paper section IV-B, Figure 17) sorts the
+sender-idle gap lengths and looks for the knee of the resulting curve:
+the plateau before the knee is the repeating implementation timer, the
+tail after it is everything else.  The L-method fits two straight lines
+to the curve and picks the split minimizing the weighted total RMSE.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _line_fit_rmse(xs: list[float], ys: list[float]) -> float:
+    """RMSE of the least-squares line through the points."""
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        return 0.0
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / sxx
+    intercept = mean_y - slope * mean_x
+    sse = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    return math.sqrt(sse / n)
+
+
+def l_method_knee(values: list[float]) -> int | None:
+    """Index of the knee of a sorted curve, or None if degenerate.
+
+    ``values`` are the y-coordinates of a monotone curve sampled at
+    x = 0, 1, 2, ...; the returned index is the last point of the first
+    (left) segment.
+    """
+    n = len(values)
+    if n < 4:
+        return None
+    xs = list(range(n))
+    best_index = None
+    best_error = math.inf
+    for c in range(1, n - 2):
+        left_rmse = _line_fit_rmse(xs[: c + 1], values[: c + 1])
+        right_rmse = _line_fit_rmse(xs[c + 1 :], values[c + 1 :])
+        weight_left = (c + 1) / n
+        total = weight_left * left_rmse + (1 - weight_left) * right_rmse
+        if total < best_error:
+            best_error = total
+            best_index = c
+    return best_index
+
+
+def plateau_value(
+    sorted_values: list[float], knee_index: int | None
+) -> float | None:
+    """The representative (median) value of the pre-knee plateau."""
+    if knee_index is None or knee_index < 0:
+        return None
+    plateau = sorted_values[: knee_index + 1]
+    if not plateau:
+        return None
+    mid = len(plateau) // 2
+    if len(plateau) % 2:
+        return plateau[mid]
+    return (plateau[mid - 1] + plateau[mid]) / 2

@@ -1,0 +1,103 @@
+"""MCT — estimating the end of a BGP table transfer (Zhang et al. [36]).
+
+A table transfer is the burst of UPDATEs right after session
+establishment announcing the peer's full table.  Its end is estimated
+from the update stream itself: the transfer is over once prefixes stop
+being *new* — steady-state updates mostly re-announce or withdraw known
+prefixes — or once the stream goes quiet for longer than an idle
+timeout.  The paper runs MCT only on the stream following a TCP
+connection start, which is how this module is meant to be driven (the
+connection start time comes from the packet trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.messages import UpdateMessage
+from repro.core.units import seconds
+
+DEFAULT_IDLE_TIMEOUT_US = seconds(30)
+DEFAULT_DUPLICATE_TOLERANCE = 0.05
+
+
+@dataclass
+class TableTransfer:
+    """The MCT estimate for one table transfer."""
+
+    start_us: int
+    end_us: int
+    updates: int
+    prefixes: int
+    ended_by: str  # "duplicates" | "idle" | "stream-end"
+
+    @property
+    def duration_us(self) -> int:
+        return self.end_us - self.start_us
+
+
+def minimum_collection_time(
+    updates: list[tuple[int, UpdateMessage]],
+    start_us: int | None = None,
+    idle_timeout_us: int = DEFAULT_IDLE_TIMEOUT_US,
+    duplicate_tolerance: float = DEFAULT_DUPLICATE_TOLERANCE,
+) -> TableTransfer | None:
+    """Estimate the table-transfer extent from (timestamp, UPDATE) pairs.
+
+    ``start_us`` anchors the transfer start (the TCP connection start in
+    the paper's pipeline); it defaults to the first update's timestamp.
+    The transfer ends at the last update that still contributed new
+    prefixes, before either the duplicate fraction exceeded the
+    tolerance or the stream idled.
+    """
+    if not updates:
+        return None
+    if start_us is None:
+        start_us = updates[0][0]
+    seen: set[str] = set()
+    end_us = updates[0][0]
+    total_updates = 0
+    duplicates = 0
+    ended_by = "stream-end"
+    previous_ts = updates[0][0]
+    for ts, update in updates:
+        if ts - previous_ts > idle_timeout_us:
+            ended_by = "idle"
+            break
+        previous_ts = ts
+        total_updates += 1
+        new_prefixes = 0
+        for prefix in update.announced:
+            key = str(prefix)
+            if key not in seen:
+                seen.add(key)
+                new_prefixes += 1
+        if update.announced and new_prefixes == 0:
+            duplicates += 1
+            if duplicates / max(total_updates, 1) > duplicate_tolerance:
+                ended_by = "duplicates"
+                break
+        if new_prefixes:
+            end_us = ts
+    return TableTransfer(
+        start_us=start_us,
+        end_us=end_us,
+        updates=total_updates,
+        prefixes=len(seen),
+        ended_by=ended_by,
+    )
+
+
+def transfers_from_mrt_records(
+    records,
+    connection_start_us: int,
+    **kwargs,
+) -> TableTransfer | None:
+    """Run MCT over MRT records for one peer, anchored at a TCP start."""
+    updates = [
+        (record.timestamp_us, record.message)
+        for record in records
+        if isinstance(record.message, UpdateMessage)
+        and record.timestamp_us >= connection_start_us
+    ]
+    return minimum_collection_time(updates, start_us=connection_start_us, **kwargs)

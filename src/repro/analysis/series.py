@@ -1,0 +1,696 @@
+"""Event-series generation: the heart of T-DAT (paper section III-C).
+
+From one connection's (ACK-shifted) packet timeline this module derives
+the catalogue of named :class:`~repro.core.events.EventSeries`, through
+the paper's three rule classes:
+
+* **Extraction** — series read directly off the trace: transmission
+  time, outstanding bytes, the receiver-advertised window, upstream and
+  downstream loss-recovery periods, reordering, keepalives;
+* **Interpretation** — renaming by deployment knowledge: with the
+  sniffer next to the receiver, ``RecvLocalLoss := DownstreamLoss`` and
+  ``NetworkLoss := UpstreamLoss`` (mirrored for a sender-side tap);
+* **Operation** — inference and set algebra: sender application
+  idleness, advertised-window-bounded and congestion-window-bounded
+  flights, ``SmallAdvBndOut := AdvBndOut ∩ SmallAdv`` and friends.
+
+The walk is organized around *flight cycles*: consecutive data flights
+split on inter-arrival gaps, each cycle ending where the next flight
+begins.  Per cycle the generator decides which constraint (receiver
+window, congestion window, loss recovery, or the sending application)
+explains the inter-transmission gap — the question the paper poses
+under Figure 11.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.analysis.flights import flight_gap_threshold_us, group_flights
+from repro.analysis.labeling import (
+    KIND_DOWNSTREAM,
+    KIND_REORDERING,
+    KIND_UPSTREAM,
+    LabelingResult,
+    label_connection,
+)
+from repro.analysis.profile import Connection, TracePacket
+from repro.core.events import EventSeries, SeriesCatalog, SeriesEventData
+from repro.core.timeranges import TimeRange, TimeRangeSet
+
+SNIFFER_AT_RECEIVER = "receiver"
+SNIFFER_AT_SENDER = "sender"
+SNIFFER_IN_MIDDLE = "middle"
+
+#: All series the generator can emit (the paper's "34 internal series";
+#: ours are enumerated here for discoverability).
+SERIES_NAMES = [
+    # Extraction
+    "Transmission",
+    "Outstanding",
+    "AckArrivals",
+    "ZeroAdvWindow",
+    "SmallAdvWindow",
+    "LargeAdvWindow",
+    "UpstreamLoss",
+    "DownstreamLoss",
+    "AllLoss",
+    "Reordering",
+    "KeepAlives",
+    "InterTransmissionGaps",
+    # Interpretation
+    "SendLocalLoss",
+    "RecvLocalLoss",
+    "NetworkLoss",
+    # Operation
+    "SenderIdleRaw",
+    "SenderPacedRaw",
+    "SmallAdvStall",
+    "SendAppLimited",
+    "AdvBndOut",
+    "CwdBndOut",
+    "ZeroAdvBndOut",
+    "SmallAdvBndOut",
+    "LargeAdvBndOut",
+    "TcpAdvBndOut",
+    "ZeroAckBug",
+    "BandwidthLimited",
+]
+
+
+@dataclass
+class SeriesConfig:
+    """Tunables of the series generator (paper defaults)."""
+
+    sniffer_location: str = SNIFFER_AT_RECEIVER
+    # "Small"/"large" advertised-window thresholds (paper: 3 MSS).
+    window_margin_mss: int = 3
+    # A sender answering ACKs within this delay is not app-limited.
+    response_threshold_us: int = 2_000
+    # Back-to-back spacing slack for bandwidth-limit detection.
+    bandwidth_slack: float = 1.3
+    # Minimum packets of sustained bottleneck spacing.
+    bandwidth_min_packets: int = 5
+
+
+class StepFunction:
+    """A right-continuous integer step function of time."""
+
+    def __init__(self, initial: int = 0) -> None:
+        self._times: list[int] = []
+        self._values: list[int] = []
+        self.initial = initial
+
+    def add(self, time_us: int, value: int) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self._times and time_us < self._times[-1]:
+            raise ValueError("step function samples must be time-ordered")
+        if self._times and self._times[-1] == time_us:
+            self._values[-1] = value
+            return
+        self._times.append(time_us)
+        self._values.append(value)
+
+    def value_at(self, time_us: int) -> int:
+        """The value in effect at ``time_us``."""
+        idx = bisect.bisect_right(self._times, time_us) - 1
+        if idx < 0:
+            return self.initial
+        return self._values[idx]
+
+    def ranges_where(self, predicate, start_us: int, end_us: int) -> TimeRangeSet:
+        """Intervals within [start, end) where ``predicate(value)`` holds."""
+        result = TimeRangeSet()
+        if end_us <= start_us:
+            return result
+        points = [start_us] + [
+            t for t in self._times if start_us < t < end_us
+        ] + [end_us]
+        for left, right in zip(points, points[1:]):
+            if predicate(self.value_at(left)):
+                result.add_span(left, right)
+        return result
+
+    def samples(self) -> list[tuple[int, int]]:
+        """The raw (time, value) samples."""
+        return list(zip(self._times, self._values))
+
+
+@dataclass
+class ConnectionSeries:
+    """The output bundle of :func:`generate_series`."""
+
+    catalog: SeriesCatalog
+    labeling: LabelingResult
+    outstanding: StepFunction
+    advertised_window: StepFunction
+    window: TimeRange
+    mss: int
+    rtt_us: int
+    serialization_us_per_byte: float
+
+    def get(self, name: str) -> EventSeries:
+        """Look up a series by name."""
+        return self.catalog.get(name)
+
+
+def generate_series(
+    connection: Connection,
+    labeling: LabelingResult | None = None,
+    window: tuple[int, int] | None = None,
+    config: SeriesConfig | None = None,
+) -> ConnectionSeries:
+    """Generate the full series catalogue for one connection.
+
+    ``window`` is the analysis period (defaults to the span from the
+    first data packet to the last packet of the connection).
+    """
+    config = config or SeriesConfig()
+    if labeling is None:
+        labeling = label_connection(connection)
+    profile = connection.profile
+    if profile is None:
+        raise ValueError("connection has no profile; call finalize() first")
+    mss = profile.mss
+    data = connection.data_packets()
+    acks = connection.ack_packets()
+    if window is None:
+        start = data[0].timestamp_us if data else profile.start_time_us
+        window = (start, profile.end_time_us)
+    analysis = TimeRange(*window)
+    catalog = SeriesCatalog()
+
+    byte_time = _estimate_byte_time(data)
+
+    # ------------------------------------------------------------- #
+    # Extraction                                                      #
+    # ------------------------------------------------------------- #
+    transmission = TimeRangeSet()
+    for packet in data:
+        ser = max(1, round(packet.wire_len * byte_time))
+        transmission.add(
+            TimeRange(
+                packet.timestamp_us - ser,
+                packet.timestamp_us,
+                SeriesEventData(packets=1, bytes=packet.payload_len,
+                                refs=[packet.index]),
+            )
+        )
+    catalog.put(EventSeries("Transmission", transmission,
+                            "time actually spent clocking data onto the wire"))
+
+    outstanding_fn, outstanding_set = _outstanding(connection, data, acks)
+    catalog.put(EventSeries("Outstanding", outstanding_set,
+                            "periods with unacknowledged data in flight"))
+
+    ack_marks = TimeRangeSet()
+    for ack in acks:
+        t = ack.effective_time_us
+        ack_marks.add_span(t, t + 1)
+    catalog.put(EventSeries("AckArrivals", ack_marks, "ACK observation instants"))
+
+    adv_fn = _advertised_window(acks)
+    small_limit = config.window_margin_mss * mss
+    large_limit = max(profile.max_advertised_window - small_limit, 0)
+    catalog.put(EventSeries(
+        "ZeroAdvWindow",
+        adv_fn.ranges_where(lambda v: v == 0, analysis.start, analysis.end),
+        "receiver advertised a zero window",
+    ))
+    catalog.put(EventSeries(
+        "SmallAdvWindow",
+        adv_fn.ranges_where(lambda v: v < small_limit, analysis.start, analysis.end),
+        "receiver window below 3 MSS (receiving app falling behind)",
+    ))
+    catalog.put(EventSeries(
+        "LargeAdvWindow",
+        adv_fn.ranges_where(lambda v: v > large_limit, analysis.start, analysis.end),
+        "receiver window near its configured maximum",
+    ))
+
+    upstream, downstream, reordering = _loss_series(labeling)
+    catalog.put(EventSeries("UpstreamLoss", upstream,
+                            "recovery periods for losses upstream of the tap"))
+    catalog.put(EventSeries("DownstreamLoss", downstream,
+                            "recovery periods for losses downstream of the tap"))
+    catalog.put(EventSeries("AllLoss", upstream.union(downstream),
+                            "all loss-recovery periods"))
+    catalog.put(EventSeries("Reordering", reordering,
+                            "in-network reordering (not loss)"))
+
+    keepalives = TimeRangeSet()
+    for packet in data:
+        if packet.is_bgp_keepalive():
+            keepalives.add_span(packet.timestamp_us, packet.timestamp_us + 1)
+    catalog.put(EventSeries("KeepAlives", keepalives,
+                            "BGP keepalive transmission instants"))
+
+    catalog.put(EventSeries(
+        "InterTransmissionGaps",
+        transmission.complement(analysis),
+        "the time between transmissions that the analyzer must explain",
+    ))
+
+    # ------------------------------------------------------------- #
+    # Interpretation                                                  #
+    # ------------------------------------------------------------- #
+    up_series = catalog.get("UpstreamLoss")
+    down_series = catalog.get("DownstreamLoss")
+    if config.sniffer_location == SNIFFER_AT_RECEIVER:
+        catalog.put(EventSeries("SendLocalLoss", TimeRangeSet()))
+        catalog.put(down_series.renamed("RecvLocalLoss"))
+        catalog.put(up_series.renamed("NetworkLoss"))
+    elif config.sniffer_location == SNIFFER_AT_SENDER:
+        catalog.put(up_series.renamed("SendLocalLoss"))
+        catalog.put(EventSeries("RecvLocalLoss", TimeRangeSet()))
+        catalog.put(down_series.renamed("NetworkLoss"))
+    else:
+        catalog.put(EventSeries("SendLocalLoss", TimeRangeSet()))
+        catalog.put(EventSeries("RecvLocalLoss", TimeRangeSet()))
+        catalog.put(up_series.union(down_series, name="NetworkLoss"))
+
+    # ------------------------------------------------------------- #
+    # Operation: per-flight-cycle constraint attribution              #
+    # ------------------------------------------------------------- #
+    loss_union = upstream.union(downstream)
+    # Window boundedness is evaluated continuously on the outstanding
+    # and advertised-window step functions, which handles both discrete
+    # flights and continuously ack-clocked periods.
+    busy, adv_bnd_raw = _bounded_ranges(
+        outstanding_fn, adv_fn, small_limit, analysis.start, analysis.end
+    )
+    adv_bnd = adv_bnd_raw.difference(loss_union)
+    # Sender idleness comes from the flight-cycle walk: the time between
+    # the final ACK of one flight and the start of the next.  The
+    # congestion-window attribution is opt-in per cycle: only cycles
+    # whose next flight follows the ACKs immediately are candidates —
+    # in an idle-resolved cycle the ACK-wait is not a cwnd constraint
+    # (the sender had nothing more to send, paper section III-C).
+    # Data cycles split on a *fine* inter-arrival threshold (not the
+    # RTT): a paced sender's per-message gaps must become cycles of
+    # their own, or a whole transfer merges into one cycle and gets the
+    # classification of its tail.
+    threshold = config.response_threshold_us
+    cycles = _flight_cycles(
+        connection, data, acks, profile.rtt_us,
+        gap_threshold_us=max(threshold, 1_000),
+    )
+    idle_raw = TimeRangeSet()
+    paced_raw = TimeRangeSet()
+    cwnd_eligible = TimeRangeSet()
+    for cycle in cycles:
+        # The busy head of every cycle — transmission plus the wait for
+        # its ACKs — is window territory (adv or cwnd decide there).
+        head_end = cycle.end_us if cycle.acked_us is None else min(
+            cycle.acked_us, cycle.end_us
+        )
+        if head_end > cycle.start_us:
+            cwnd_eligible.add_span(cycle.start_us, head_end)
+        if cycle.next_start_us is None:
+            # The trailing quiet period after the final flight.
+            if cycle.acked_us is not None and analysis.end > cycle.acked_us:
+                idle_raw.add_span(cycle.acked_us, analysis.end)
+            continue
+        gap = cycle.next_start_us - cycle.last_data_us
+        if gap <= threshold:
+            continue  # continuous transmission
+        response = (
+            cycle.next_start_us - cycle.acked_us
+            if cycle.acked_us is not None
+            else None
+        )
+        ack_slid_window = (
+            cycle.last_ack_before_next_us is not None
+            and 0
+            <= cycle.next_start_us - cycle.last_ack_before_next_us
+            <= threshold
+        )
+        if (response is not None and abs(response) <= threshold) or ack_slid_window:
+            # Transmission resumed right on an ACK's heels — either the
+            # cycle-covering ACK or an earlier window-sliding one (the
+            # delayed ACK of a flight's last odd segment arrives long
+            # after the window has already slid open): window bound.
+            cwnd_eligible.add_span(cycle.start_us, cycle.next_start_us)
+        elif response is not None and response > threshold:
+            # Idle after everything was acknowledged: the application.
+            idle_raw.add_span(cycle.acked_us, cycle.next_start_us)
+        else:
+            # Paused, then resumed *before* the ACKs arrived: the
+            # application paces itself (a sender-side rate limit, which
+            # the paper folds into SendAppLimited via [15]).
+            paced_raw.add_span(cycle.last_data_us, cycle.next_start_us)
+    cwd_bnd = (
+        busy.intersection(cwnd_eligible)
+        .difference(adv_bnd_raw)
+        .difference(loss_union)
+        .difference(transmission)
+        .difference(idle_raw)
+        .difference(paced_raw)
+    )
+    catalog.put(EventSeries("SenderIdleRaw", idle_raw,
+                            "raw idle periods before filtering"))
+    catalog.put(EventSeries("SenderPacedRaw", paced_raw,
+                            "pauses where sending resumed before the ACKs"))
+    catalog.put(EventSeries("AdvBndOut", adv_bnd,
+                            "flights bounded by the receiver window"))
+    catalog.put(EventSeries("CwdBndOut", cwd_bnd,
+                            "flights bounded by the congestion window"))
+
+    zero_bnd = catalog.get("ZeroAdvWindow").ranges
+    if data:
+        zero_bnd = zero_bnd.clip(analysis.start, data[-1].timestamp_us)
+    catalog.put(EventSeries("ZeroAdvBndOut", zero_bnd,
+                            "transfer stalled on a zero receiver window"))
+
+    # Idle under a small advertised window is the *receiver* pacing the
+    # sender, not sender application think-time — the paper's
+    # definition requires the sender "not bounded by the TCP windows".
+    small_adv = catalog.get("SmallAdvWindow").ranges
+    small_adv_stall = idle_raw.intersection(small_adv).difference(loss_union)
+    catalog.put(EventSeries("SmallAdvStall", small_adv_stall,
+                            "sender idle because the window closed"))
+    send_app = (
+        idle_raw.union(paced_raw)
+        .difference(small_adv)
+        .difference(loss_union)
+        .clip(analysis.start, analysis.end)
+    )
+    catalog.put(EventSeries("SendAppLimited", send_app,
+                            "sender idle with open windows (BGP app delay)"))
+
+    catalog.put(
+        EventSeries(
+            "SmallAdvBndOut",
+            catalog.get("AdvBndOut")
+            .intersection(catalog.get("SmallAdvWindow"))
+            .ranges.union(small_adv_stall),
+            "receiver window small and binding (receiving app delay)",
+        )
+    )
+    catalog.put(
+        catalog.get("AdvBndOut").intersection(
+            catalog.get("LargeAdvWindow"), name="LargeAdvBndOut"
+        )
+    )
+    # Everything advertised-window bound that is NOT explained by a
+    # closing (small) window is the TCP window configuration limiting —
+    # the window may read mid-range at ACK instants while still being
+    # the binding constraint.
+    catalog.put(
+        EventSeries(
+            "TcpAdvBndOut",
+            catalog.get("AdvBndOut").ranges.difference(small_adv),
+            "receiver window binding without the receiving app lagging",
+        )
+    )
+    # The paper found this bug through *conflicting* series: losses
+    # while the zero window should have silenced the sender.  The zero
+    # window is dilated by ~2 RTT so recoveries that begin the instant a
+    # window update ends the episode still register as coincident.
+    zero_dilated = catalog.get("ZeroAdvBndOut").ranges.dilate(
+        max(2 * profile.rtt_us, 10_000)
+    )
+    catalog.put(EventSeries(
+        "ZeroAckBug",
+        zero_dilated.intersection(catalog.get("UpstreamLoss").ranges),
+        "upstream-loss recovery coinciding with zero-window episodes",
+    ))
+
+    catalog.put(EventSeries(
+        "BandwidthLimited",
+        _bandwidth_limited(
+            data, byte_time, config,
+            min_duration_us=max(2 * profile.rtt_us, 20_000),
+        ),
+        "sustained back-to-back arrivals at bottleneck spacing",
+    ))
+
+    return ConnectionSeries(
+        catalog=catalog,
+        labeling=labeling,
+        outstanding=outstanding_fn,
+        advertised_window=adv_fn,
+        window=analysis,
+        mss=mss,
+        rtt_us=profile.rtt_us,
+        serialization_us_per_byte=byte_time,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Internals                                                            #
+# ------------------------------------------------------------------ #
+def _estimate_byte_time(data: list[TracePacket]) -> float:
+    """Packet-pair estimate of the bottleneck's us-per-byte."""
+    best: float | None = None
+    for prev, curr in zip(data, data[1:]):
+        gap = curr.timestamp_us - prev.timestamp_us
+        if gap <= 0 or curr.wire_len == 0:
+            continue
+        rate = gap / curr.wire_len
+        if best is None or rate < best:
+            best = rate
+    return best if best is not None else 0.01
+
+
+def _bounded_ranges(
+    out_fn: "StepFunction",
+    adv_fn: "StepFunction",
+    small_limit: int,
+    start_us: int,
+    end_us: int,
+) -> tuple[TimeRangeSet, TimeRangeSet]:
+    """(busy, advertised-window-bounded) ranges from the step functions."""
+    busy = TimeRangeSet()
+    adv_bound = TimeRangeSet()
+    if end_us <= start_us:
+        return busy, adv_bound
+    times = sorted(
+        {start_us, end_us}
+        | {t for t, _ in out_fn.samples() if start_us < t < end_us}
+        | {t for t, _ in adv_fn.samples() if start_us < t < end_us}
+    )
+    for left, right in zip(times, times[1:]):
+        outstanding = out_fn.value_at(left)
+        if outstanding <= 0:
+            continue
+        busy.add_span(left, right)
+        if adv_fn.value_at(left) - outstanding < small_limit:
+            adv_bound.add_span(left, right)
+    return busy, adv_bound
+
+
+def _outstanding(
+    connection: Connection,
+    data: list[TracePacket],
+    acks: list[TracePacket],
+) -> tuple[StepFunction, TimeRangeSet]:
+    events: list[tuple[int, int, str, int]] = []
+    for packet in data:
+        end = connection.relative_seq(packet) + packet.payload_len
+        events.append((packet.timestamp_us, 0, "data", end))
+    for ack in acks:
+        events.append((ack.effective_time_us, 1, "ack", connection.relative_ack(ack)))
+    events.sort(key=lambda e: (e[0], e[1]))
+    fn = StepFunction()
+    ranges = TimeRangeSet()
+    snd_max = 0
+    acked = 0
+    open_since: int | None = None
+    for time_us, _, kind, value in events:
+        if kind == "data":
+            snd_max = max(snd_max, value)
+        else:
+            acked = max(acked, value)
+        outstanding = max(snd_max - acked, 0)
+        fn.add(time_us, outstanding)
+        if outstanding > 0 and open_since is None:
+            open_since = time_us
+        elif outstanding == 0 and open_since is not None:
+            ranges.add_span(open_since, time_us)
+            open_since = None
+    if open_since is not None and events:
+        ranges.add_span(open_since, events[-1][0] + 1)
+    return fn, ranges
+
+
+def _advertised_window(acks: list[TracePacket]) -> StepFunction:
+    fn = StepFunction(initial=65535)
+    for ack in sorted(acks, key=lambda a: a.effective_time_us):
+        fn.add(ack.effective_time_us, ack.window)
+    return fn
+
+
+def _loss_series(
+    labeling: LabelingResult,
+) -> tuple[TimeRangeSet, TimeRangeSet, TimeRangeSet]:
+    upstream = TimeRangeSet()
+    downstream = TimeRangeSet()
+    reordering = TimeRangeSet()
+    for label in labeling.labels:
+        packet = label.packet
+        if label.kind == KIND_REORDERING:
+            reordering.add_span(packet.timestamp_us, packet.timestamp_us + 1)
+            continue
+        if not label.is_retransmission:
+            continue
+        start = label.trigger_time_us
+        if start is None:
+            start = packet.timestamp_us
+        end = label.recovery_time_us
+        if end is None or end <= start:
+            end = max(packet.timestamp_us, start + 1)
+        target = upstream if label.kind == KIND_UPSTREAM else downstream
+        target.add(
+            TimeRange(
+                start,
+                end,
+                SeriesEventData(packets=1, bytes=packet.payload_len,
+                                refs=[packet.index]),
+            )
+        )
+    return upstream, downstream, reordering
+
+
+@dataclass
+class FlightCycle:
+    """One data flight plus the quiet period until the next flight."""
+
+    start_us: int
+    last_data_us: int
+    end_us: int
+    packets: int
+    bytes: int
+    peak_outstanding: int
+    acked_us: int | None
+    next_start_us: int | None
+    # The last ACK observed before the next flight began: a next flight
+    # right on its heels is window-sliding, not application pacing.
+    last_ack_before_next_us: int | None = None
+
+
+def _flight_cycles(
+    connection: Connection,
+    data: list[TracePacket],
+    acks: list[TracePacket],
+    rtt_us: int,
+    gap_threshold_us: int | None = None,
+) -> list[FlightCycle]:
+    if not data:
+        return []
+    threshold = (
+        gap_threshold_us
+        if gap_threshold_us is not None
+        else flight_gap_threshold_us(rtt_us)
+    )
+    flights = group_flights(data, threshold)
+    # Per-flight ACK shifting may locally perturb the time order; sort
+    # so the bisect lookups below stay correct.
+    pairs = sorted(
+        (a.effective_time_us, connection.relative_ack(a)) for a in acks
+    )
+    ack_times = [t for t, _ in pairs]
+    ack_values = [v for _, v in pairs]
+    # ack_values is non-decreasing in a sane trace; enforce monotonicity
+    # so bisect works even through reordered captures.
+    running = 0
+    monotone = []
+    for value in ack_values:
+        running = max(running, value)
+        monotone.append(running)
+
+    cycles: list[FlightCycle] = []
+    for i, flight in enumerate(flights):
+        start = flight[0].timestamp_us
+        last_data = flight[-1].timestamp_us
+        next_start = (
+            flights[i + 1][0].timestamp_us if i + 1 < len(flights) else None
+        )
+        end = next_start if next_start is not None else last_data + rtt_us
+        flight_end_seq = max(
+            connection.relative_seq(p) + p.payload_len for p in flight
+        )
+        acked_us = _first_ack_covering(
+            ack_times, monotone, last_data, flight_end_seq
+        )
+        peak = max(
+            flight_end_seq
+            - _ack_value_at(ack_times, monotone, p.timestamp_us)
+            for p in flight
+        )
+        last_ack_before_next = None
+        if next_start is not None:
+            idx = bisect.bisect_right(ack_times, next_start) - 1
+            if idx >= 0:
+                last_ack_before_next = ack_times[idx]
+        cycles.append(
+            FlightCycle(
+                start_us=start,
+                last_data_us=last_data,
+                end_us=end,
+                packets=len(flight),
+                bytes=sum(p.payload_len for p in flight),
+                peak_outstanding=peak,
+                acked_us=acked_us,
+                next_start_us=next_start,
+                last_ack_before_next_us=last_ack_before_next,
+            )
+        )
+    return cycles
+
+
+def _first_ack_covering(
+    ack_times: list[int], ack_values: list[int], after_us: int, seq: int
+) -> int | None:
+    start = bisect.bisect_left(ack_times, after_us)
+    for i in range(start, len(ack_times)):
+        if ack_values[i] >= seq:
+            return ack_times[i]
+    return None
+
+
+def _ack_value_at(
+    ack_times: list[int], ack_values: list[int], time_us: int
+) -> int:
+    idx = bisect.bisect_right(ack_times, time_us) - 1
+    if idx < 0:
+        return 0
+    return ack_values[idx]
+
+
+def _bandwidth_limited(
+    data: list[TracePacket],
+    byte_time: float,
+    config: SeriesConfig,
+    min_duration_us: int = 20_000,
+) -> TimeRangeSet:
+    result = TimeRangeSet()
+    run_start: int | None = None
+    run_packets = 0
+
+    def commit(end_us: int) -> None:
+        # A window-sized burst also rides at wire speed; only runs both
+        # long (in packets) and sustained (in time, beyond a couple of
+        # RTTs) indicate an actually bandwidth-limited path.
+        if (
+            run_start is not None
+            and run_packets >= config.bandwidth_min_packets
+            and end_us - run_start >= min_duration_us
+        ):
+            result.add_span(run_start, end_us)
+
+    for prev, curr in zip(data, data[1:]):
+        gap = curr.timestamp_us - prev.timestamp_us
+        expected = curr.wire_len * byte_time
+        if gap <= expected * config.bandwidth_slack:
+            if run_start is None:
+                run_start = prev.timestamp_us
+                run_packets = 1
+            run_packets += 1
+        else:
+            commit(prev.timestamp_us)
+            run_start = None
+            run_packets = 0
+    commit(data[-1].timestamp_us if data else 0)
+    return result

@@ -1,0 +1,134 @@
+"""T-DAT: the top-level TCP Delay Analysis Tool facade.
+
+``analyze_pcap`` runs the full pipeline of the paper's Figure 10 —
+pre-process (connection extraction and profiling), ACK shift, series
+generation, delay-factor classification, problem detection — over every
+TCP connection in a capture and returns a structured report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.analysis.ackshift import AckShiftStats, shift_acks
+from repro.analysis.detectors import (
+    ConsecutiveLossReport,
+    TimerGapReport,
+    ZeroAckBugReport,
+    detect_consecutive_losses,
+    detect_timer_gaps,
+    detect_zero_ack_bug,
+)
+from repro.analysis.factors import FactorReport, classify
+from repro.analysis.labeling import LabelingResult, label_connection
+from repro.analysis.profile import Connection, FlowKey, Trace
+from repro.analysis.series import (
+    SNIFFER_AT_RECEIVER,
+    ConnectionSeries,
+    SeriesConfig,
+    generate_series,
+)
+from repro.analysis.voids import CaptureVoidReport, find_capture_voids
+from repro.wire.pcap import PcapRecord
+
+
+@dataclass
+class ConnectionAnalysis:
+    """Everything T-DAT derived for one TCP connection."""
+
+    connection: Connection
+    labeling: LabelingResult
+    ack_shift: AckShiftStats
+    series: ConnectionSeries
+    factors: FactorReport
+    timer_gaps: TimerGapReport
+    consecutive_losses: ConsecutiveLossReport
+    zero_ack_bug: ZeroAckBugReport
+    capture_voids: CaptureVoidReport
+
+    @property
+    def key(self) -> FlowKey:
+        return self.connection.key
+
+
+@dataclass
+class TdatReport:
+    """The analysis of a whole capture."""
+
+    analyses: dict[FlowKey, ConnectionAnalysis] = field(default_factory=dict)
+    skipped_connections: int = 0
+
+    def __iter__(self):
+        return iter(self.analyses.values())
+
+    def __len__(self) -> int:
+        return len(self.analyses)
+
+    def get(self, key: FlowKey) -> ConnectionAnalysis:
+        return self.analyses[key]
+
+
+def analyze_connection(
+    connection: Connection,
+    window: tuple[int, int] | None = None,
+    config: SeriesConfig | None = None,
+    enable_ack_shift: bool = True,
+    exclude_voids: bool = True,
+) -> ConnectionAnalysis:
+    """Run the full T-DAT pipeline on one connection.
+
+    With ``exclude_voids`` (the default), periods where the sniffer
+    demonstrably lost packets are removed from the factor ratios, per
+    the paper's section II-A exclusion rule.
+    """
+    config = config or SeriesConfig()
+    shift_stats = AckShiftStats()
+    if enable_ack_shift and config.sniffer_location != "sender":
+        shift_stats = shift_acks(connection)
+    labeling = label_connection(connection)
+    series = generate_series(connection, labeling, window=window, config=config)
+    voids = find_capture_voids(connection)
+    exclude = voids.void_windows if exclude_voids and voids.detected else None
+    return ConnectionAnalysis(
+        connection=connection,
+        labeling=labeling,
+        ack_shift=shift_stats,
+        series=series,
+        factors=classify(series, exclude=exclude),
+        timer_gaps=detect_timer_gaps(series),
+        consecutive_losses=detect_consecutive_losses(series),
+        zero_ack_bug=detect_zero_ack_bug(series),
+        capture_voids=voids,
+    )
+
+
+def analyze_pcap(
+    source: BinaryIO | str | Path | list[PcapRecord],
+    sniffer_location: str = SNIFFER_AT_RECEIVER,
+    windows: dict[FlowKey, tuple[int, int]] | None = None,
+    config: SeriesConfig | None = None,
+    min_data_packets: int = 2,
+) -> TdatReport:
+    """Analyze every TCP connection in a capture.
+
+    ``windows`` optionally restricts each connection's analysis period
+    (e.g. to the MCT-determined table-transfer extent).  Connections
+    with fewer than ``min_data_packets`` data segments are skipped.
+    """
+    if config is None:
+        config = SeriesConfig(sniffer_location=sniffer_location)
+    trace = Trace.from_pcap(source)
+    report = TdatReport()
+    for connection in trace:
+        if connection.profile is None or (
+            connection.profile.total_data_packets < min_data_packets
+        ):
+            report.skipped_connections += 1
+            continue
+        window = windows.get(connection.key) if windows else None
+        report.analyses[connection.key] = analyze_connection(
+            connection, window=window, config=config
+        )
+    return report

@@ -1,0 +1,350 @@
+"""BGP-4 message encoding/decoding (RFC 4271 section 4).
+
+Implements OPEN, UPDATE, KEEPALIVE and NOTIFICATION with the standard
+19-byte header (16-byte all-ones marker, length, type), plus an
+incremental :class:`MessageDecoder` that extracts messages out of a
+reassembled TCP byte stream — the building block of both the collector
+and the ``pcap2bgp`` side tool.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.bgp.attributes import PathAttributes
+from repro.wire.ip import bytes_to_ip, ip_to_bytes
+
+MARKER = b"\xff" * 16
+HEADER_LEN = 19
+MAX_MESSAGE_LEN = 4096
+
+TYPE_OPEN = 1
+TYPE_UPDATE = 2
+TYPE_NOTIFICATION = 3
+TYPE_KEEPALIVE = 4
+
+TYPE_NAMES = {
+    TYPE_OPEN: "OPEN",
+    TYPE_UPDATE: "UPDATE",
+    TYPE_NOTIFICATION: "NOTIFICATION",
+    TYPE_KEEPALIVE: "KEEPALIVE",
+}
+
+# NOTIFICATION error codes (subset).
+ERR_OPEN_MESSAGE = 2
+ERR_HOLD_TIMER_EXPIRED = 4
+ERR_CEASE = 6
+
+# OPEN message error subcodes (RFC 4271 section 6.2).
+OPEN_ERR_UNSUPPORTED_VERSION = 1
+OPEN_ERR_BAD_PEER_AS = 2
+OPEN_ERR_BAD_BGP_ID = 3
+OPEN_ERR_UNACCEPTABLE_HOLD_TIME = 6
+
+# OPEN optional parameter and capability codes (RFC 5492 / 6793).
+PARAM_CAPABILITIES = 2
+CAP_MULTIPROTOCOL = 1
+CAP_ROUTE_REFRESH = 2
+CAP_AS4 = 65
+
+# RFC 6793: 2-byte stand-in AS for speakers with a 4-byte AS number.
+AS_TRANS = 23456
+
+
+class BgpError(ValueError):
+    """Raised on malformed BGP messages."""
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix in CIDR form."""
+
+    network: str
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise BgpError(f"bad prefix length {self.length}")
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"10.0.0.0/8"`` notation."""
+        network, _, length = text.partition("/")
+        return cls(network, int(length))
+
+    def encode(self) -> bytes:
+        """NLRI wire form: length byte + minimal network bytes."""
+        nbytes = (self.length + 7) // 8
+        return bytes([self.length]) + ip_to_bytes(self.network)[:nbytes]
+
+
+def decode_prefixes(data: bytes) -> list[Prefix]:
+    """Parse a run of NLRI-encoded prefixes."""
+    prefixes = []
+    i = 0
+    while i < len(data):
+        length = data[i]
+        if length > 32:
+            raise BgpError(f"bad prefix length {length}")
+        nbytes = (length + 7) // 8
+        if i + 1 + nbytes > len(data):
+            raise BgpError("truncated prefix")
+        raw = data[i + 1 : i + 1 + nbytes] + b"\x00" * (4 - nbytes)
+        prefixes.append(Prefix(bytes_to_ip(raw), length))
+        i += 1 + nbytes
+    return prefixes
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OpenMessage:
+    """BGP OPEN: version, AS, hold time, router ID, capabilities.
+
+    ``my_as`` is the speaker's *true* AS number; values above 65535 are
+    carried per RFC 6793 (AS_TRANS in the fixed field plus the AS4
+    capability).  ``capabilities`` holds further ``(code, value)``
+    pairs (RFC 5492); the AS4 capability is managed automatically.
+    """
+
+    my_as: int
+    hold_time_s: int
+    bgp_id: str
+    version: int = 4
+    capabilities: tuple[tuple[int, bytes], ...] = ()
+
+    type_code = TYPE_OPEN
+
+    def body(self) -> bytes:
+        caps = list(self.capabilities)
+        wire_as = self.my_as
+        if self.my_as > 0xFFFF:
+            wire_as = AS_TRANS
+            caps = [c for c in caps if c[0] != CAP_AS4]
+            caps.append((CAP_AS4, struct.pack("!I", self.my_as)))
+        params = b""
+        for code, value in caps:
+            capability = struct.pack("!BB", code, len(value)) + value
+            params += struct.pack(
+                "!BB", PARAM_CAPABILITIES, len(capability)
+            ) + capability
+        return struct.pack(
+            "!BHH4sB",
+            self.version,
+            wire_as,
+            self.hold_time_s,
+            ip_to_bytes(self.bgp_id),
+            len(params),
+        ) + params
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "OpenMessage":
+        if len(body) < 10:
+            raise BgpError("OPEN too short")
+        version, my_as, hold_time, bgp_id, opt_len = struct.unpack_from(
+            "!BHH4sB", body
+        )
+        if 10 + opt_len > len(body):
+            raise BgpError("OPEN optional parameters truncated")
+        capabilities = []
+        i = 10
+        end = 10 + opt_len
+        while i < end:
+            if i + 2 > end:
+                raise BgpError("truncated OPEN optional parameter")
+            param_type, param_len = body[i], body[i + 1]
+            i += 2
+            if i + param_len > end:
+                raise BgpError("OPEN optional parameter overruns")
+            if param_type == PARAM_CAPABILITIES:
+                j = i
+                while j < i + param_len:
+                    if j + 2 > i + param_len:
+                        raise BgpError("truncated capability")
+                    code, cap_len = body[j], body[j + 1]
+                    j += 2
+                    if j + cap_len > i + param_len:
+                        raise BgpError("capability overruns")
+                    capabilities.append((code, body[j : j + cap_len]))
+                    j += cap_len
+            i += param_len
+        true_as = my_as
+        kept = []
+        for code, value in capabilities:
+            if code == CAP_AS4 and len(value) == 4:
+                (true_as,) = struct.unpack("!I", value)
+            else:
+                kept.append((code, value))
+        return cls(my_as=true_as, hold_time_s=hold_time,
+                   bgp_id=bytes_to_ip(bgp_id), version=version,
+                   capabilities=tuple(kept))
+
+    def supports(self, code: int) -> bool:
+        """True if the OPEN advertised the given capability code."""
+        return any(c == code for c, _ in self.capabilities)
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """BGP UPDATE: withdrawals plus one attribute set with its NLRI."""
+
+    announced: tuple[Prefix, ...] = ()
+    attributes: PathAttributes | None = None
+    withdrawn: tuple[Prefix, ...] = ()
+
+    type_code = TYPE_UPDATE
+
+    def body(self) -> bytes:
+        withdrawn = b"".join(p.encode() for p in self.withdrawn)
+        attrs = self.attributes.encode() if self.attributes is not None else b""
+        nlri = b"".join(p.encode() for p in self.announced)
+        return (
+            struct.pack("!H", len(withdrawn))
+            + withdrawn
+            + struct.pack("!H", len(attrs))
+            + attrs
+            + nlri
+        )
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "UpdateMessage":
+        if len(body) < 4:
+            raise BgpError("UPDATE too short")
+        (withdrawn_len,) = struct.unpack_from("!H", body, 0)
+        i = 2 + withdrawn_len
+        if i + 2 > len(body):
+            raise BgpError("UPDATE truncated after withdrawals")
+        withdrawn = decode_prefixes(body[2:i])
+        (attr_len,) = struct.unpack_from("!H", body, i)
+        i += 2
+        if i + attr_len > len(body):
+            raise BgpError("UPDATE truncated in attributes")
+        attrs_raw = body[i : i + attr_len]
+        attributes = PathAttributes.decode(attrs_raw) if attrs_raw else None
+        announced = decode_prefixes(body[i + attr_len :])
+        return cls(
+            announced=tuple(announced),
+            attributes=attributes,
+            withdrawn=tuple(withdrawn),
+        )
+
+
+@dataclass(frozen=True)
+class KeepaliveMessage:
+    """BGP KEEPALIVE: header only."""
+
+    type_code = TYPE_KEEPALIVE
+
+    def body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "KeepaliveMessage":
+        if body:
+            raise BgpError("KEEPALIVE must have an empty body")
+        return cls()
+
+
+@dataclass(frozen=True)
+class NotificationMessage:
+    """BGP NOTIFICATION: error code/subcode and diagnostic data."""
+
+    error_code: int
+    error_subcode: int = 0
+    data: bytes = b""
+
+    type_code = TYPE_NOTIFICATION
+
+    def body(self) -> bytes:
+        return bytes([self.error_code, self.error_subcode]) + self.data
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "NotificationMessage":
+        if len(body) < 2:
+            raise BgpError("NOTIFICATION too short")
+        return cls(error_code=body[0], error_subcode=body[1], data=body[2:])
+
+
+BgpMessage = OpenMessage | UpdateMessage | KeepaliveMessage | NotificationMessage
+
+_BODY_PARSERS = {
+    TYPE_OPEN: OpenMessage.from_body,
+    TYPE_UPDATE: UpdateMessage.from_body,
+    TYPE_KEEPALIVE: KeepaliveMessage.from_body,
+    TYPE_NOTIFICATION: NotificationMessage.from_body,
+}
+
+
+def encode_message(message: BgpMessage) -> bytes:
+    """Wrap a message body in the 19-byte BGP header."""
+    body = message.body()
+    length = HEADER_LEN + len(body)
+    if length > MAX_MESSAGE_LEN:
+        raise BgpError(f"message of {length} bytes exceeds 4096")
+    return MARKER + struct.pack("!HB", length, message.type_code) + body
+
+
+def decode_message(data: bytes) -> BgpMessage:
+    """Parse exactly one complete BGP message."""
+    message, consumed = _decode_one(data)
+    if consumed != len(data):
+        raise BgpError(f"{len(data) - consumed} trailing bytes")
+    return message
+
+
+def _decode_one(data: bytes) -> tuple[BgpMessage, int]:
+    if len(data) < HEADER_LEN:
+        raise BgpError("truncated header")
+    if data[:16] != MARKER:
+        raise BgpError("bad marker")
+    length, type_code = struct.unpack_from("!HB", data, 16)
+    if not HEADER_LEN <= length <= MAX_MESSAGE_LEN:
+        raise BgpError(f"bad message length {length}")
+    if len(data) < length:
+        raise BgpError("truncated body")
+    parser = _BODY_PARSERS.get(type_code)
+    if parser is None:
+        raise BgpError(f"unknown message type {type_code}")
+    return parser(data[HEADER_LEN:length]), length
+
+
+class MessageDecoder:
+    """Incremental decoder over a reassembled TCP byte stream.
+
+    Feed bytes as they arrive; complete messages pop out.  Used by the
+    BGP speaker's receive path and by ``pcap2bgp``.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.messages_decoded = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting a complete message."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[BgpMessage]:
+        """Append stream bytes and return all newly completed messages."""
+        self._buffer.extend(data)
+        messages: list[BgpMessage] = []
+        while True:
+            if len(self._buffer) < HEADER_LEN:
+                break
+            if bytes(self._buffer[:16]) != MARKER:
+                raise BgpError("stream desynchronized: bad marker")
+            (length,) = struct.unpack_from("!H", self._buffer, 16)
+            if not HEADER_LEN <= length <= MAX_MESSAGE_LEN:
+                raise BgpError(f"bad message length {length}")
+            if len(self._buffer) < length:
+                break
+            message, _ = _decode_one(bytes(self._buffer[:length]))
+            del self._buffer[:length]
+            messages.append(message)
+            self.messages_decoded += 1
+        return messages

@@ -1,0 +1,5 @@
+"""Passive capture: sniffer taps producing pcap traces."""
+
+from repro.capture.sniffer import SnifferTap
+
+__all__ = ["SnifferTap"]

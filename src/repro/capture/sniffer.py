@@ -1,0 +1,81 @@
+"""The passive sniffer: link taps that record byte-faithful pcap.
+
+The paper's collection setup (Figure 2) places a tcpdump box immediately
+in front of the BGP collector, capturing both directions of the TCP
+connection.  :class:`SnifferTap` reproduces that: it attaches to the
+egress of one or more simulated links and serializes every observed
+segment into a real Ethernet/IPv4/TCP frame with the simulation
+timestamp.  Because taps observe packets *before* the next link's loss
+or buffer drop, placing the tap one link upstream of the receiver makes
+"downstream" (receiver-local) losses visible exactly as in the paper's
+methodology (section II-B2).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+from repro.wire import frames
+from repro.wire.pcap import PcapRecord, write_pcap
+
+
+class SnifferTap:
+    """Records frames passing configured link taps into pcap records."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "sniffer",
+        drop_windows: list[tuple[int, int]] | None = None,
+    ) -> None:
+        """``drop_windows`` are [start_us, end_us) intervals during which
+        the sniffer loses packets (tcpdump drops, paper section II-A)."""
+        self.sim = sim
+        self.name = name
+        self.drop_windows = sorted(drop_windows or [])
+        self.records: list[PcapRecord] = []
+        self.dropped_records = 0
+        self._ip_id: dict[tuple[str, str], int] = {}
+
+    def attach(self, *links: Link) -> "SnifferTap":
+        """Start observing the egress of each link."""
+        for link in links:
+            link.add_tap(self._observe)
+        return self
+
+    def _observe(self, packet: Packet, time_us: int) -> None:
+        if self._in_drop_window(time_us):
+            self.dropped_records += 1
+            return
+        if packet.ip_id is not None:
+            ident = packet.ip_id
+        else:
+            key = (packet.src, packet.dst)
+            ident = self._ip_id.get(key, 0)
+            self._ip_id[key] = (ident + 1) & 0xFFFF
+        frame = frames.build_frame(
+            packet.src, packet.dst, packet.payload, identification=ident
+        )
+        self.records.append(PcapRecord(timestamp_us=time_us, data=frame))
+
+    def _in_drop_window(self, time_us: int) -> bool:
+        return any(start <= time_us < end for start, end in self.drop_windows)
+
+    @property
+    def packet_count(self) -> int:
+        """Frames captured so far."""
+        return len(self.records)
+
+    def sorted_records(self) -> list[PcapRecord]:
+        """Records in timestamp order (stable across taps)."""
+        return sorted(self.records, key=lambda r: r.timestamp_us)
+
+    def write(self, target: BinaryIO | str | Path) -> int:
+        """Write the capture as a pcap file; returns the record count."""
+        records = self.sorted_records()
+        write_pcap(target, records)
+        return len(records)

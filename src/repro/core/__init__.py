@@ -1,0 +1,14 @@
+"""Core data structures of the T-DAT delay analyzer."""
+
+from repro.core.events import EventSeries, SeriesCatalog, SeriesEventData
+from repro.core.timeranges import TimeRange, TimeRangeSet
+from repro.core import units
+
+__all__ = [
+    "EventSeries",
+    "SeriesCatalog",
+    "SeriesEventData",
+    "TimeRange",
+    "TimeRangeSet",
+    "units",
+]

@@ -1,0 +1,71 @@
+"""Hosts: addressable endpoints that dispatch packets to protocol handlers.
+
+A :class:`Host` owns an IPv4 address and a registry of flow handlers
+keyed by the TCP 4-tuple.  Incoming packets are dispatched to the
+matching handler (a TCP endpoint); unmatched packets are counted and
+dropped, as a real kernel would send a RST we do not need to model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.netsim.packet import Packet
+
+FlowKey = tuple[str, int, str, int]  # (src_ip, src_port, dst_ip, dst_port)
+
+
+class Host:
+    """A simulated end host identified by an IPv4 address."""
+
+    def __init__(self, name: str, ip: str) -> None:
+        self.name = name
+        self.ip = ip
+        self._flow_handlers: dict[FlowKey, Callable[[Packet], None]] = {}
+        self._listeners: dict[int, Callable[[Packet], None]] = {}
+        self.unmatched_packets = 0
+        self.routes: dict[str, Any] = {}
+
+    def add_route(self, dst_ip: str, sender: Callable[[Packet], None]) -> None:
+        """Register the outbound path entry used to reach ``dst_ip``."""
+        self.routes[dst_ip] = sender
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit ``packet`` along the route for its destination."""
+        try:
+            route = self.routes[packet.dst]
+        except KeyError:
+            raise LookupError(
+                f"{self.name} has no route to {packet.dst}"
+            ) from None
+        return route(packet)
+
+    def register_flow(
+        self, key: FlowKey, handler: Callable[[Packet], None]
+    ) -> None:
+        """Attach a connection handler for an exact 4-tuple."""
+        self._flow_handlers[key] = handler
+
+    def unregister_flow(self, key: FlowKey) -> None:
+        """Detach a connection handler; missing keys are ignored."""
+        self._flow_handlers.pop(key, None)
+
+    def listen(self, port: int, handler: Callable[[Packet], None]) -> None:
+        """Attach a passive handler for segments to ``port`` with no flow match."""
+        self._listeners[port] = handler
+
+    def deliver(self, packet: Packet) -> None:
+        """Entry point wired into the inbound link's ``deliver``."""
+        segment = packet.payload
+        key = (packet.src, segment.src_port, packet.dst, segment.dst_port)
+        handler = self._flow_handlers.get(key)
+        if handler is None:
+            handler = self._listeners.get(segment.dst_port)
+        if handler is None:
+            self.unmatched_packets += 1
+            return
+        handler(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name}@{self.ip})"

@@ -1,0 +1,187 @@
+"""Deterministic discrete-event simulator.
+
+The paper analyzed a year of traces from operational routers; we stand
+in for that testbed with a discrete-event simulation whose clock runs in
+integer microseconds (the same resolution tcpdump records).  The
+simulator is strictly deterministic: events firing at the same instant
+execute in scheduling order, so a seeded run always produces the same
+pcap byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from typing import Any
+
+
+class Event:
+    """A scheduled callback; returned by :meth:`Simulator.schedule`.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped
+    when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self, time: int, seq: int, callback: Callable[..., Any], args: tuple
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """An event-heap simulator with an integer microsecond clock."""
+
+    def __init__(self, start_time_us: int = 0) -> None:
+        self._now = start_time_us
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """The current simulation time in microseconds."""
+        return self._now
+
+    def schedule(
+        self, delay_us: int, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` after ``delay_us`` microseconds."""
+        if delay_us < 0:
+            raise ValueError(f"negative delay {delay_us}")
+        event = Event(self._now + delay_us, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self, time_us: int, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` at absolute time ``time_us``."""
+        if time_us < self._now:
+            raise ValueError(f"cannot schedule in the past: {time_us} < {self._now}")
+        return self.schedule(time_us - self._now, callback, *args)
+
+    def run(self, until_us: int | None = None, max_events: int | None = None) -> int:
+        """Process events until the heap drains or a bound is hit.
+
+        Returns the number of events executed.  ``until_us`` is an
+        inclusive time bound; ``max_events`` guards against runaway
+        simulations in tests.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while self._heap:
+                if until_us is not None and self._heap[0].time > until_us:
+                    self._now = until_us
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(*event.args)
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def pending(self) -> int:
+        """Count of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    This is the idiom BGP hold/keepalive timers and TCP's RTO need:
+    ``restart`` reschedules, ``stop`` cancels, and a fired timer can be
+    restarted again.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        callback: Callable[[], Any],
+        name: str = "timer",
+    ) -> None:
+        self._sim = sim
+        self._callback = callback
+        self.name = name
+        self._event: Event | None = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the timer is scheduled and not yet fired."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay_us: int) -> None:
+        """Arm the timer; restarts it if already armed."""
+        self.stop()
+        self._event = self._sim.schedule(delay_us, self._fire)
+
+    restart = start
+
+    def stop(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """A repeating timer (e.g. BGP keepalives, batching ticks)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval_us: int,
+        callback: Callable[[], Any],
+        name: str = "periodic",
+    ) -> None:
+        if interval_us <= 0:
+            raise ValueError(f"non-positive interval {interval_us}")
+        self._sim = sim
+        self.interval_us = interval_us
+        self._callback = callback
+        self.name = name
+        self._event: Event | None = None
+
+    @property
+    def running(self) -> bool:
+        """True while ticks are being scheduled."""
+        return self._event is not None
+
+    def start(self, initial_delay_us: int | None = None) -> None:
+        """Begin ticking; first tick after ``initial_delay_us`` (default: one interval)."""
+        self.stop()
+        delay = self.interval_us if initial_delay_us is None else initial_delay_us
+        self._event = self._sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        self._event = self._sim.schedule(self.interval_us, self._tick)
+        self._callback()

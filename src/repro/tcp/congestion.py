@@ -1,0 +1,174 @@
+"""Window-based congestion control: Tahoe, Reno and NewReno.
+
+T-DAT's basic assumption (paper section III) is that the monitored TCP
+"uses congestion and receive windows to control packet delivery (i.e.,
+TCP flavours such as Tahoe, Reno, New Reno)".  These are exactly the
+flavours the simulator implements, so every inference T-DAT makes can be
+validated against ground truth.
+
+All window arithmetic is in bytes.
+"""
+
+from __future__ import annotations
+
+
+class CongestionControl:
+    """Shared slow-start / congestion-avoidance machinery."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        mss: int,
+        initial_cwnd_mss: int = 2,
+        initial_ssthresh_bytes: int = 65535,
+    ) -> None:
+        if mss <= 0:
+            raise ValueError(f"non-positive MSS {mss}")
+        self.mss = mss
+        self.cwnd = initial_cwnd_mss * mss
+        self.ssthresh = initial_ssthresh_bytes
+        self.in_fast_recovery = False
+        self.recovery_point: int | None = None
+        self._avoidance_accum = 0
+
+    # ------------------------------------------------------------------
+    # Normal (open) window growth
+    # ------------------------------------------------------------------
+    def on_new_ack(self, newly_acked_bytes: int) -> None:
+        """Grow the window for ``newly_acked_bytes`` of fresh data ACKed."""
+        if self.in_fast_recovery:
+            return
+        if self.cwnd < self.ssthresh:
+            # Slow start: one MSS per ACKed MSS (byte counting).
+            self.cwnd += min(newly_acked_bytes, self.mss)
+        else:
+            # Congestion avoidance: one MSS per ACKed window of bytes.
+            self._avoidance_accum += min(newly_acked_bytes, self.mss)
+            if self._avoidance_accum >= self.cwnd:
+                self._avoidance_accum -= self.cwnd
+                self.cwnd += self.mss
+
+    # ------------------------------------------------------------------
+    # Loss events — specialized per flavour
+    # ------------------------------------------------------------------
+    def on_triple_dupack(self, flight_size: int, recovery_point: int) -> bool:
+        """React to three duplicate ACKs.
+
+        Returns True if the caller should fast-retransmit the missing
+        segment.  ``recovery_point`` is SND.NXT at loss detection; the
+        flavour records it to decide when recovery ends.
+        """
+        raise NotImplementedError
+
+    def on_dupack_in_recovery(self) -> None:
+        """Window inflation for each further dup ACK during recovery."""
+        if self.in_fast_recovery:
+            self.cwnd += self.mss
+
+    def on_recovery_ack(self, ack: int) -> str:
+        """Process a cumulative ACK while in fast recovery.
+
+        Returns one of ``"exit"`` (recovery over), ``"partial"`` (NewReno
+        partial ACK: retransmit next hole, stay in recovery) or
+        ``"ignore"``.
+        """
+        raise NotImplementedError
+
+    def on_timeout(self, flight_size: int) -> None:
+        """Collapse to slow start after an RTO."""
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.in_fast_recovery = False
+        self.recovery_point = None
+        self._avoidance_accum = 0
+
+    def _halve_into_recovery(self, flight_size: int, recovery_point: int) -> None:
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh + 3 * self.mss
+        self.in_fast_recovery = True
+        self.recovery_point = recovery_point
+
+    def _deflate_and_exit(self) -> None:
+        self.cwnd = self.ssthresh
+        self.in_fast_recovery = False
+        self.recovery_point = None
+        self._avoidance_accum = 0
+
+
+class Tahoe(CongestionControl):
+    """TCP Tahoe: fast retransmit but no fast recovery."""
+
+    name = "tahoe"
+
+    def on_triple_dupack(self, flight_size: int, recovery_point: int) -> bool:
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.in_fast_recovery = False
+        self.recovery_point = None
+        self._avoidance_accum = 0
+        return True
+
+    def on_dupack_in_recovery(self) -> None:
+        pass
+
+    def on_recovery_ack(self, ack: int) -> str:
+        return "ignore"
+
+
+class Reno(CongestionControl):
+    """TCP Reno: fast retransmit + fast recovery, exits on first new ACK."""
+
+    name = "reno"
+
+    def on_triple_dupack(self, flight_size: int, recovery_point: int) -> bool:
+        if self.in_fast_recovery:
+            return False
+        self._halve_into_recovery(flight_size, recovery_point)
+        return True
+
+    def on_recovery_ack(self, ack: int) -> str:
+        if not self.in_fast_recovery:
+            return "ignore"
+        self._deflate_and_exit()
+        return "exit"
+
+
+class NewReno(CongestionControl):
+    """TCP NewReno (RFC 6582): partial ACKs keep recovery alive."""
+
+    name = "newreno"
+
+    def on_triple_dupack(self, flight_size: int, recovery_point: int) -> bool:
+        if self.in_fast_recovery:
+            return False
+        self._halve_into_recovery(flight_size, recovery_point)
+        return True
+
+    def on_recovery_ack(self, ack: int) -> str:
+        if not self.in_fast_recovery:
+            return "ignore"
+        assert self.recovery_point is not None
+        if ack >= self.recovery_point:
+            self._deflate_and_exit()
+            return "exit"
+        # Partial ACK: deflate by the amount acked, retransmit next hole.
+        self.cwnd = max(self.cwnd - self.mss, self.mss)
+        return "partial"
+
+
+FLAVORS = {cls.name: cls for cls in (Tahoe, Reno, NewReno)}
+
+
+def make_congestion_control(
+    flavor: str, mss: int, initial_cwnd_mss: int = 2,
+    initial_ssthresh_bytes: int = 65535,
+) -> CongestionControl:
+    """Instantiate a flavour by name (``tahoe`` / ``reno`` / ``newreno``)."""
+    try:
+        cls = FLAVORS[flavor]
+    except KeyError:
+        raise ValueError(
+            f"unknown TCP flavor {flavor!r}; expected one of {sorted(FLAVORS)}"
+        ) from None
+    return cls(mss, initial_cwnd_mss, initial_ssthresh_bytes)

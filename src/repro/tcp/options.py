@@ -1,0 +1,58 @@
+"""TCP endpoint configuration.
+
+The two advertised-window settings the paper contrasts — ISP_A's 65 KB
+versus RouteViews' 16 KB (section IV-A) — are campaign-level knobs here,
+as are the flavour, delayed-ACK policy, RTO aggressiveness and the
+zero-window-probe bug switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.units import seconds
+
+
+@dataclass
+class TcpConfig:
+    """All tunables of one TCP endpoint."""
+
+    mss: int = 1400
+    flavor: str = "newreno"  # tahoe | reno | newreno
+    initial_cwnd_mss: int = 2
+    initial_ssthresh_bytes: int = 65535
+    recv_buffer_bytes: int = 65535
+    delayed_ack: bool = True
+    delayed_ack_timeout_us: int = seconds(0.1)
+    initial_rto_us: int = seconds(1.0)
+    min_rto_us: int = seconds(0.3)
+    max_rto_us: int = seconds(60.0)
+    rto_backoff_factor: float = 2.0
+    persist_timeout_us: int = seconds(0.5)
+    zero_window_probe_delay_us: int = 2_000
+    zero_ack_bug: bool = False
+    # RFC 2018 selective acknowledgments (negotiated on the handshake).
+    # Off by default: the paper's 2008-2011 router stacks, and T-DAT's
+    # own taxonomy, assume plain window-based TCP.
+    sack: bool = False
+    # RFC 7323 window scaling: the shift count advertised in the SYN.
+    # 0 disables the option entirely (the paper-era default); both ends
+    # must offer it for scaling to apply.
+    window_scale: int = 0
+    isn: int = 0
+    # Endpoint processing latency applied before transmitting each segment.
+    processing_delay_us: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValueError(f"non-positive MSS {self.mss}")
+        if self.recv_buffer_bytes < self.mss:
+            raise ValueError("receive buffer smaller than one MSS")
+        if not 0 <= self.window_scale <= 14:
+            raise ValueError(f"window scale {self.window_scale} outside 0..14")
+
+    def clone(self, **overrides) -> "TcpConfig":
+        """A copy with selected fields replaced."""
+        values = self.__dict__.copy()
+        values.update(overrides)
+        return TcpConfig(**values)

@@ -1,0 +1,217 @@
+"""The receive half of a TCP endpoint.
+
+Implements in-order reassembly, duplicate-ACK generation for
+out-of-order arrivals, delayed ACKs (every second full segment or a
+200 ms timer, RFC 1122), and receiver flow control: the advertised
+window is the free space of a finite receive buffer that the
+*application* must drain by calling :meth:`read`.
+
+The application-read side is where the paper's "BGP receiver app"
+delay factor originates: a collector that parses updates slowly leaves
+data sitting in the buffer, the advertised window closes toward zero,
+and T-DAT sees small-advertised-window bounded periods.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.netsim.simulator import Simulator, Timer
+from repro.tcp.options import TcpConfig
+
+
+class RecvHalf:
+    """Reassembly, ACK policy and flow control for one direction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: TcpConfig,
+        send_ack: Callable[[], None],
+        on_readable: Callable[[], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self._send_ack = send_ack
+        self.on_readable = on_readable
+        self.rcv_nxt = 0  # relative sequence (0 == first payload byte)
+        self._out_of_order: dict[int, bytes] = {}
+        self._ooo_recency: list[int] = []  # stash seqs, most recent last
+        self._app_buffer = bytearray()
+        self._unacked_segments = 0
+        self._ack_timer = Timer(sim, self._ack_timer_fired, name="delack")
+        self._fin_seq: int | None = None
+        self.fin_received = False
+        # Raised to 65535 << scale when window scaling is negotiated.
+        self.window_cap = 65535
+        # Counters for tests and stats.
+        self.total_received_bytes = 0
+        self.duplicate_segments = 0
+        self.out_of_order_segments = 0
+
+    # ------------------------------------------------------------------
+    # Window accounting
+    # ------------------------------------------------------------------
+    @property
+    def advertised_window(self) -> int:
+        """Free receive-buffer space, capped at the (scaled) field limit.
+
+        Out-of-order segments occupy buffer space too: a reassembly
+        hole therefore closes the window, which is how the paper's
+        zero-window probe bug starves a connection.
+        """
+        held = len(self._app_buffer) + sum(
+            len(p) for p in self._out_of_order.values()
+        )
+        free = self.config.recv_buffer_bytes - held
+        return max(0, min(free, self.window_cap))
+
+    @property
+    def buffered_bytes(self) -> int:
+        """In-order bytes waiting for the application."""
+        return len(self._app_buffer)
+
+    # ------------------------------------------------------------------
+    # Segment arrival
+    # ------------------------------------------------------------------
+    def on_segment(self, seq: int, payload: bytes, fin: bool = False) -> None:
+        """Process one data segment (relative ``seq``)."""
+        if fin:
+            self._fin_seq = seq + len(payload)
+        if not payload and not fin:
+            return
+        end = seq + len(payload)
+        if end <= self.rcv_nxt and not fin:
+            # Complete duplicate (a spurious retransmission): ACK at once.
+            self.duplicate_segments += 1
+            self._ack_now()
+            return
+        if seq > self.rcv_nxt:
+            # A hole precedes this segment: stash and send a duplicate ACK.
+            self.out_of_order_segments += 1
+            if payload:
+                self._out_of_order.setdefault(seq, payload)
+                if seq in self._ooo_recency:
+                    self._ooo_recency.remove(seq)
+                self._ooo_recency.append(seq)
+            self._ack_now()
+            return
+        # In order (possibly overlapping the left edge).
+        self._accept(seq, payload)
+        self._drain_out_of_order()
+        if self._fin_seq is not None and self.rcv_nxt >= self._fin_seq:
+            self.fin_received = True
+            self.rcv_nxt = self._fin_seq + 1  # FIN consumes one sequence number
+            self._ack_now()
+        else:
+            self._schedule_ack()
+        if self._app_buffer and self.on_readable is not None:
+            self.on_readable()
+
+    def _accept(self, seq: int, payload: bytes) -> None:
+        usable = payload[self.rcv_nxt - seq :]
+        if not usable:
+            return
+        free = self.config.recv_buffer_bytes - len(self._app_buffer)
+        usable = usable[:free]  # overflow beyond buffer is dropped
+        self._app_buffer.extend(usable)
+        self.rcv_nxt += len(usable)
+        self.total_received_bytes += len(usable)
+
+    def _drain_out_of_order(self) -> None:
+        while self._out_of_order:
+            # Find a stashed segment that now fits at the left edge.
+            match = None
+            for seq, payload in self._out_of_order.items():
+                if seq <= self.rcv_nxt < seq + len(payload) or seq == self.rcv_nxt:
+                    match = seq
+                    break
+                if seq + len(payload) <= self.rcv_nxt:
+                    match = seq  # fully obsolete; discard below
+                    break
+            if match is None:
+                return
+            payload = self._out_of_order.pop(match)
+            if match in self._ooo_recency:
+                self._ooo_recency.remove(match)
+            if match + len(payload) > self.rcv_nxt:
+                self._accept(match, payload)
+
+    # ------------------------------------------------------------------
+    # ACK policy
+    # ------------------------------------------------------------------
+    def _schedule_ack(self) -> None:
+        if not self.config.delayed_ack:
+            self._ack_now()
+            return
+        self._unacked_segments += 1
+        if self._unacked_segments >= 2:
+            self._ack_now()
+        elif not self._ack_timer.armed:
+            self._ack_timer.start(self.config.delayed_ack_timeout_us)
+
+    def _ack_timer_fired(self) -> None:
+        if self._unacked_segments > 0:
+            self._ack_now()
+
+    def _ack_now(self) -> None:
+        self._unacked_segments = 0
+        self._ack_timer.stop()
+        self._send_ack()
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def read(self, max_bytes: int | None = None) -> bytes:
+        """Consume in-order data, reopening the advertised window.
+
+        A window-update ACK is pushed when the window reopens from (or
+        near) zero, so a stalled sender learns it may resume — standard
+        receiver-side silly-window avoidance.
+        """
+        if max_bytes is None:
+            max_bytes = len(self._app_buffer)
+        before = self.advertised_window
+        data = bytes(self._app_buffer[:max_bytes])
+        del self._app_buffer[: len(data)]
+        if data and before < 2 * self.config.mss <= self.advertised_window:
+            self._ack_now()
+        elif data and before == 0 and self.advertised_window > 0:
+            self._ack_now()
+        return data
+
+    def peek(self, max_bytes: int | None = None) -> bytes:
+        """Look at buffered data without consuming it."""
+        if max_bytes is None:
+            max_bytes = len(self._app_buffer)
+        return bytes(self._app_buffer[:max_bytes])
+
+    # ------------------------------------------------------------------
+    # SACK generation (RFC 2018)
+    # ------------------------------------------------------------------
+    def sack_blocks(self, max_blocks: int = 3) -> tuple[tuple[int, int], ...]:
+        """Relative-sequence SACK blocks for the reassembly holes.
+
+        Blocks are coalesced from the out-of-order stash; the block
+        containing the most recently received segment leads, per
+        RFC 2018's "most recent first" rule.
+        """
+        if not self._out_of_order:
+            return ()
+        from repro.core.timeranges import TimeRangeSet
+
+        coverage = TimeRangeSet(
+            (seq, seq + len(payload))
+            for seq, payload in self._out_of_order.items()
+        )
+        blocks = [(r.start, r.end) for r in coverage]
+
+        def recency(block: tuple[int, int]) -> int:
+            newest = -1
+            for order, seq in enumerate(self._ooo_recency):
+                if block[0] <= seq < block[1]:
+                    newest = max(newest, order)
+            return newest
+
+        blocks.sort(key=recency, reverse=True)
+        return tuple(blocks[:max_blocks])

@@ -1,0 +1,82 @@
+"""Retransmission timeout estimation (Jacobson/Karn, RFC 6298).
+
+The paper observes that RouteViews connections "backoff more
+aggressively", with the RTO jumping to seconds after two or three
+timeouts (section IV-B).  The estimator therefore exposes the backoff
+factor and RTO floor/ceiling as configuration so campaigns can model
+both conservative ISP stacks and aggressive collector stacks.
+"""
+
+from __future__ import annotations
+
+from repro.core.units import seconds
+
+
+class RttEstimator:
+    """SRTT/RTTVAR smoothing and the derived retransmission timeout."""
+
+    def __init__(
+        self,
+        initial_rto_us: int = seconds(1.0),
+        min_rto_us: int = seconds(0.2),
+        max_rto_us: int = seconds(60.0),
+        backoff_factor: float = 2.0,
+        alpha: float = 1 / 8,
+        beta: float = 1 / 4,
+        k: float = 4.0,
+    ) -> None:
+        if min_rto_us <= 0 or max_rto_us < min_rto_us:
+            raise ValueError("invalid RTO bounds")
+        if backoff_factor < 1.0:
+            raise ValueError(f"backoff factor {backoff_factor} < 1")
+        self.min_rto_us = min_rto_us
+        self.max_rto_us = max_rto_us
+        self.backoff_factor = backoff_factor
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        self.srtt_us: float | None = None
+        self.rttvar_us: float = 0.0
+        self._base_rto_us = float(initial_rto_us)
+        self._backoff_exponent = 0
+        self.samples = 0
+
+    @property
+    def rto_us(self) -> int:
+        """The current timeout, with backoff and bounds applied."""
+        rto = self._base_rto_us * (self.backoff_factor ** self._backoff_exponent)
+        return int(min(max(rto, self.min_rto_us), self.max_rto_us))
+
+    def on_rtt_sample(self, rtt_us: int) -> None:
+        """Fold in one RTT measurement (from a never-retransmitted segment).
+
+        Karn's rule — never sample retransmitted segments — is enforced
+        by the caller, which knows retransmission state.
+        """
+        if rtt_us < 0:
+            raise ValueError(f"negative RTT sample {rtt_us}")
+        if self.srtt_us is None:
+            self.srtt_us = float(rtt_us)
+            self.rttvar_us = rtt_us / 2
+        else:
+            err = abs(self.srtt_us - rtt_us)
+            self.rttvar_us = (1 - self.beta) * self.rttvar_us + self.beta * err
+            self.srtt_us = (1 - self.alpha) * self.srtt_us + self.alpha * rtt_us
+        self._base_rto_us = self.srtt_us + max(
+            self.k * self.rttvar_us, 1000.0
+        )
+        self._backoff_exponent = 0
+        self.samples += 1
+
+    def on_timeout(self) -> None:
+        """Exponential backoff after a retransmission timer expiry."""
+        self._backoff_exponent += 1
+
+    def reset_backoff(self) -> None:
+        """Clear backoff once new data is acknowledged."""
+        self._backoff_exponent = 0
+
+    @property
+    def backoff_exponent(self) -> int:
+        """How many consecutive timeouts have backed the timer off."""
+        return self._backoff_exponent

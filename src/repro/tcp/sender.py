@@ -1,0 +1,428 @@
+"""The send half of a TCP endpoint.
+
+Implements the send buffer, sliding window against
+``min(cwnd, peer advertised window)``, RTT sampling under Karn's rule,
+RTO retransmission with exponential backoff, fast retransmit / fast
+recovery per the configured flavour, zero-window persist probing — and,
+optionally, the zero-window-probe implementation bug the paper
+discovered in operational routers (section IV-B, *ZeroAckBug*): if a
+window-update ACK arrives after the probe was created but before it is
+transmitted, the buggy stack discards the probe yet still counts it as
+outstanding, stalling until the retransmission timer resends it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.netsim.simulator import Simulator, Timer
+from repro.tcp.congestion import make_congestion_control
+from repro.tcp.options import TcpConfig
+from repro.tcp.rto import RttEstimator
+
+
+class SendHalf:
+    """Reliability and congestion control for one direction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: TcpConfig,
+        transmit: Callable[[int, bytes, bool], None],
+        on_buffer_drained: Callable[[], None] | None = None,
+    ) -> None:
+        """``transmit(rel_seq, payload, is_retransmission)`` puts a segment
+        on the wire with the current cumulative ACK piggybacked."""
+        self.sim = sim
+        self.config = config
+        self._transmit = transmit
+        self.on_buffer_drained = on_buffer_drained
+        self.cc = make_congestion_control(
+            config.flavor,
+            config.mss,
+            config.initial_cwnd_mss,
+            config.initial_ssthresh_bytes,
+        )
+        self.rtt = RttEstimator(
+            initial_rto_us=config.initial_rto_us,
+            min_rto_us=config.min_rto_us,
+            max_rto_us=config.max_rto_us,
+            backoff_factor=config.rto_backoff_factor,
+        )
+        # Relative sequence space: 0 == first payload byte.
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self._buffer = bytearray()  # bytes from snd_una onward (unacked+unsent)
+        self._buffer_base = 0
+        self.peer_window_right_edge = 0  # highest (ack + wnd) seen
+        self.peer_window = 0
+        self._dupacks = 0
+        self._send_times: dict[int, int] = {}
+        self._retransmitted_seqs: set[int] = set()
+        self._rto_timer = Timer(sim, self._on_rto, name="rto")
+        # After an RTO, snd_nxt is pulled back to snd_una (go-back-N);
+        # sends below this mark are retransmissions of lost flights.
+        self._pullback_until = 0
+        # SACK state (active only when the endpoint negotiated it):
+        # scoreboard of selectively acknowledged byte ranges, plus the
+        # holes already retransmitted in the current recovery round.
+        self.sack_enabled = False
+        from repro.core.timeranges import TimeRangeSet
+
+        self._sack_scoreboard = TimeRangeSet()
+        self._sack_retransmitted: set[int] = set()
+        self._persist_timer = Timer(sim, self._on_persist, name="persist")
+        self._persist_backoff = 0
+        self._probe_event = None
+        self._probe_outstanding = False
+        self.closed = False
+        # Counters.
+        self.total_sent_bytes = 0
+        self.total_retransmissions = 0
+        self.total_timeouts = 0
+        self.total_fast_retransmits = 0
+        self.total_probes = 0
+        self.bug_discarded_probes = 0
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def write(self, data: bytes) -> None:
+        """Append application data to the send buffer and try to send."""
+        if self.closed:
+            raise RuntimeError("write after close")
+        if not data:
+            return
+        self._buffer.extend(data)
+        self.try_send()
+
+    @property
+    def unsent_bytes(self) -> int:
+        """Bytes buffered but not yet transmitted."""
+        return self._buffer_end - self.snd_nxt
+
+    @property
+    def unacked_bytes(self) -> int:
+        """Bytes in flight (transmitted, not yet cumulatively ACKed)."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def buffered_bytes(self) -> int:
+        """All bytes held (in flight plus unsent)."""
+        return len(self._buffer)
+
+    @property
+    def _buffer_end(self) -> int:
+        return self._buffer_base + len(self._buffer)
+
+    # ------------------------------------------------------------------
+    # Window arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def effective_window(self) -> int:
+        """min(congestion window, peer advertised window)."""
+        return min(self.cc.cwnd, self.peer_window)
+
+    def _usable_window(self) -> int:
+        return self.snd_una + self.effective_window - self.snd_nxt
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def try_send(self) -> None:
+        """Emit as many new segments as windows and buffered data allow."""
+        if self._probe_outstanding:
+            # The (buggy or real) probe byte must be acknowledged before
+            # normal transmission resumes.
+            return
+        sent_any = False
+        while self.unsent_bytes > 0 and self._usable_window() > 0:
+            size = min(self.config.mss, self.unsent_bytes, self._usable_window())
+            if size <= 0:
+                break
+            payload = self._slice(self.snd_nxt, size)
+            is_retx = self.snd_nxt < self._pullback_until
+            if is_retx:
+                self._retransmitted_seqs.add(self.snd_nxt)
+                self.total_retransmissions += 1
+            self._record_send_time(self.snd_nxt)
+            self._transmit(self.snd_nxt, payload, is_retx)
+            self.snd_nxt += size
+            self.total_sent_bytes += size
+            sent_any = True
+        if sent_any:
+            self._arm_rto_if_needed()
+            self._persist_timer.stop()
+            self._persist_backoff = 0
+        elif (
+            self.unsent_bytes > 0
+            and self.unacked_bytes == 0
+            and self.peer_window == 0
+        ):
+            self._start_persist()
+        if self.unsent_bytes == 0 and self.on_buffer_drained is not None:
+            self.on_buffer_drained()
+
+    def _slice(self, rel_seq: int, size: int) -> bytes:
+        offset = rel_seq - self._buffer_base
+        return bytes(self._buffer[offset : offset + size])
+
+    def _record_send_time(self, rel_seq: int) -> None:
+        if rel_seq not in self._send_times:
+            self._send_times[rel_seq] = self.sim.now
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def on_ack(
+        self,
+        ack: int,
+        window: int,
+        sack_blocks: tuple[tuple[int, int], ...] = (),
+    ) -> None:
+        """Process a cumulative ACK (relative) with an advertised window.
+
+        ``sack_blocks`` are relative-sequence selective acknowledgments
+        (only meaningful when the endpoint negotiated SACK).
+        """
+        self._update_peer_window(ack, window)
+        if self.sack_enabled:
+            for left, right in sack_blocks:
+                if right > left >= self.snd_una:
+                    self._sack_scoreboard.add_span(left, right)
+        if ack > self.snd_una:
+            self._on_new_ack(ack)
+        elif ack == self.snd_una and self.unacked_bytes > 0:
+            self._on_dupack()
+        elif ack == self.snd_una:
+            # Pure window update; a reopened window resumes transmission.
+            if self.peer_window > 0:
+                self._persist_timer.stop()
+                self._persist_backoff = 0
+                self._maybe_bug_discard_probe()
+        if self.sack_enabled and self.cc.in_fast_recovery:
+            self._sack_retransmit_next_hole()
+        self.try_send()
+
+    def _update_peer_window(self, ack: int, window: int) -> None:
+        right_edge = ack + window
+        if right_edge >= self.peer_window_right_edge:
+            self.peer_window_right_edge = right_edge
+        self.peer_window = max(0, self.peer_window_right_edge - self.snd_una)
+
+    def _on_new_ack(self, ack: int) -> None:
+        newly_acked = ack - self.snd_una
+        self._sample_rtt(ack)
+        self._advance_una(ack)
+        self._dupacks = 0
+        self.rtt.reset_backoff()
+        if self._probe_outstanding and ack >= self.snd_nxt:
+            self._probe_outstanding = False
+        if self.cc.in_fast_recovery:
+            outcome = self.cc.on_recovery_ack(ack)
+            if outcome == "partial":
+                if self.sack_enabled:
+                    self._sack_retransmit_next_hole()
+                else:
+                    self._retransmit_segment(self.snd_una)
+        else:
+            self.cc.on_new_ack(newly_acked)
+        if self.unacked_bytes > 0:
+            self._rto_timer.start(self.rtt.rto_us)
+        else:
+            self._rto_timer.stop()
+
+    def _advance_una(self, ack: int) -> None:
+        ack = min(ack, self._buffer_end)
+        advance = ack - self._buffer_base
+        if advance > 0:
+            del self._buffer[:advance]
+            self._buffer_base = ack
+        self.snd_una = ack
+        if self.sack_enabled:
+            self._sack_scoreboard.remove_span(0, ack)
+            self._sack_retransmitted = {
+                seq for seq in self._sack_retransmitted if seq >= ack
+            }
+        if self.snd_nxt < self.snd_una:
+            self.snd_nxt = self.snd_una
+        self._send_times = {
+            seq: t for seq, t in self._send_times.items() if seq >= ack
+        }
+        self._retransmitted_seqs = {
+            seq for seq in self._retransmitted_seqs if seq >= ack
+        }
+        # The window is relative to snd_una; recompute the usable part.
+        self.peer_window = max(0, self.peer_window_right_edge - self.snd_una)
+
+    def _sample_rtt(self, ack: int) -> None:
+        # Karn: sample only segments never retransmitted. Use the latest
+        # fully-acknowledged send time.
+        best_seq = None
+        for seq in self._send_times:
+            if seq < ack and seq not in self._retransmitted_seqs:
+                if best_seq is None or seq > best_seq:
+                    best_seq = seq
+        if best_seq is not None:
+            self.rtt.on_rtt_sample(self.sim.now - self._send_times[best_seq])
+
+    def _on_dupack(self) -> None:
+        self._dupacks += 1
+        if self._dupacks == 3:
+            flight = self.unacked_bytes
+            if self.cc.on_triple_dupack(flight, self.snd_nxt):
+                self.total_fast_retransmits += 1
+                if self.sack_enabled:
+                    self._sack_retransmitted.clear()
+                    self._sack_retransmit_next_hole()
+                else:
+                    self._retransmit_segment(self.snd_una)
+                self._rto_timer.start(self.rtt.rto_us)
+        elif self._dupacks > 3:
+            self.cc.on_dupack_in_recovery()
+
+    # ------------------------------------------------------------------
+    # Retransmission
+    # ------------------------------------------------------------------
+    def _sack_retransmit_next_hole(self) -> None:
+        """RFC 3517-style recovery: resend the first un-SACKed hole.
+
+        One hole per ACK event keeps the retransmission rate ack-clocked
+        (a simplification of the pipe algorithm).
+        """
+        from repro.core.timeranges import TimeRangeSet
+
+        if self.snd_nxt <= self.snd_una:
+            return
+        if not self._sack_scoreboard:
+            self._retransmit_segment(self.snd_una)
+            return
+        # Only ranges *below* the highest SACKed byte are known losses;
+        # anything above may simply still be in flight (RFC 3517).
+        high_sack = max(r.end for r in self._sack_scoreboard)
+        upper = min(self.snd_nxt, high_sack)
+        if upper <= self.snd_una:
+            return
+        sent = TimeRangeSet([(self.snd_una, upper)])
+        holes = sent.difference(self._sack_scoreboard)
+        for hole in holes:
+            if hole.start in self._sack_retransmitted:
+                continue
+            self._sack_retransmitted.add(hole.start)
+            size = min(self.config.mss, hole.duration)
+            payload = self._slice(hole.start, size)
+            self._retransmitted_seqs.add(hole.start)
+            self.total_retransmissions += 1
+            self._transmit(hole.start, payload, True)
+            return
+
+    def _retransmit_segment(self, rel_seq: int) -> None:
+        if rel_seq >= self._buffer_end:
+            return
+        size = min(self.config.mss, self._buffer_end - rel_seq, max(self.snd_nxt - rel_seq, 1))
+        payload = self._slice(rel_seq, size)
+        self._retransmitted_seqs.add(rel_seq)
+        self.total_retransmissions += 1
+        self._transmit(rel_seq, payload, True)
+
+    def _on_rto(self) -> None:
+        if self.unacked_bytes == 0 and not self._probe_outstanding:
+            return
+        self.total_timeouts += 1
+        self.rtt.on_timeout()
+        self.cc.on_timeout(self.unacked_bytes)
+        self._dupacks = 0
+        # Go-back-N: everything beyond snd_una is considered lost and
+        # will be resent as the (collapsed) window reopens.
+        self._pullback_until = max(self._pullback_until, self.snd_nxt)
+        self.snd_nxt = self.snd_una
+        self._probe_outstanding = False
+        if self.sack_enabled:
+            # RFC 2018: a timeout must assume the receiver reneged.
+            self._sack_scoreboard = type(self._sack_scoreboard)()
+            self._sack_retransmitted.clear()
+        self.try_send()
+        if self.snd_nxt == self.snd_una and self._buffer:
+            # The peer window is closed: retransmit anyway (a real
+            # stack's RTO ignores the advertised window for one probe-
+            # sized segment).
+            self._retransmit_segment(self.snd_una)
+        self._rto_timer.start(self.rtt.rto_us)
+
+    def _arm_rto_if_needed(self) -> None:
+        if not self._rto_timer.armed and (
+            self.unacked_bytes > 0 or self._probe_outstanding
+        ):
+            self._rto_timer.start(self.rtt.rto_us)
+
+    # ------------------------------------------------------------------
+    # Zero-window persist probing
+    # ------------------------------------------------------------------
+    def _start_persist(self) -> None:
+        if self._persist_timer.armed or self._probe_event is not None:
+            return
+        backoff = min(2 ** self._persist_backoff, 64)
+        self._persist_timer.start(self.config.persist_timeout_us * backoff)
+
+    def _on_persist(self) -> None:
+        if self.unsent_bytes == 0 or self.peer_window > 0:
+            return
+        self._persist_backoff += 1
+        # Create the 1-byte probe; it leaves after a small processing
+        # delay, during which the ZeroAckBug window exists.
+        self._probe_event = self.sim.schedule(
+            self.config.zero_window_probe_delay_us, self._transmit_probe
+        )
+
+    def _maybe_bug_discard_probe(self) -> None:
+        """A window update raced the probe out of existence (the bug).
+
+        The buggy stack discards the queued 1-byte probe yet still
+        counts its byte as sent, then happily continues with new data.
+        The receiver is left with a one-byte hole it can never fill by
+        itself: everything after it queues out of order (closing the
+        advertised window) while the sender retransmits into the hole on
+        timer expirations — the paper's "repetitive retransmissions"
+        under a zero window.
+        """
+        if not self.config.zero_ack_bug or self._probe_event is None:
+            return
+        self._probe_event.cancel()
+        self._probe_event = None
+        self.bug_discarded_probes += 1
+        # The phantom byte: accounted for, never transmitted.
+        self._record_send_time(self.snd_nxt)
+        self._retransmitted_seqs.add(self.snd_nxt)  # Karn: never sample it
+        self.snd_nxt += 1
+        self._arm_rto_if_needed()
+
+    def _transmit_probe(self) -> None:
+        self._probe_event = None
+        if self.unsent_bytes == 0:
+            return
+        if self.peer_window > 0 and not self._probe_outstanding:
+            # Window opened in time and the stack is correct: just send.
+            self.try_send()
+            return
+        payload = self._slice(self.snd_nxt, 1)
+        self._record_send_time(self.snd_nxt)
+        self._transmit(self.snd_nxt, payload, False)
+        self.snd_nxt += 1
+        self.total_probes += 1
+        self._probe_outstanding = True
+        self._arm_rto_if_needed()
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """No more application writes; pending data still drains."""
+        self.closed = True
+
+    def stop_timers(self) -> None:
+        """Cancel all timers (connection aborted)."""
+        self._rto_timer.stop()
+        self._persist_timer.stop()
+        if self._probe_event is not None:
+            self._probe_event.cancel()
+            self._probe_event = None

@@ -1,0 +1,123 @@
+"""Prefix-preserving trace anonymization for sharing captures.
+
+The paper's datasets never left the ISP — the traces identify routers,
+peers and routing policy.  This tool makes captures shareable while
+keeping them useful for delay analysis:
+
+* IPv4 addresses are anonymized with a Crypto-PAn-style
+  prefix-preserving scheme (a keyed PRF decides each output bit from
+  the input's bit-prefix), so subnet structure — which T-DAT's
+  upstream/downstream reasoning relies on — survives;
+* MAC addresses are re-derived from the anonymized IPs;
+* IP and TCP checksums are recomputed so standard tools still accept
+  the trace;
+* optionally the TCP payload is zeroed (``strip_payload``), removing
+  the BGP routing content entirely while preserving every length and
+  timestamp — exactly the information T-DAT consumes.
+
+Everything else (ports, sequence numbers, flags, windows, options,
+timing) is preserved bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.wire import ethernet, frames, ip, tcpw
+from repro.wire.pcap import PcapReader, PcapRecord, PcapWriter
+
+
+class PrefixPreservingAnonymizer:
+    """Crypto-PAn-style keyed, prefix-preserving IPv4 anonymization.
+
+    Two addresses sharing a k-bit prefix map to addresses sharing
+    exactly a k-bit prefix; the mapping is deterministic per key.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("anonymization key must be non-empty")
+        self._key = key
+        self._cache: dict[str, str] = {}
+
+    def _prf_bit(self, prefix_bits: str) -> int:
+        digest = hmac.new(
+            self._key, prefix_bits.encode(), hashlib.sha256
+        ).digest()
+        return digest[0] & 1
+
+    def anonymize_ip(self, address: str) -> str:
+        """Map one dotted-quad address."""
+        cached = self._cache.get(address)
+        if cached is not None:
+            return cached
+        value = int.from_bytes(ip.ip_to_bytes(address), "big")
+        bits = f"{value:032b}"
+        out = 0
+        for i in range(32):
+            flip = self._prf_bit(bits[:i])
+            out = (out << 1) | (int(bits[i]) ^ flip)
+        result = ip.bytes_to_ip(out.to_bytes(4, "big"))
+        self._cache[address] = result
+        return result
+
+
+def anonymize_record(
+    record: PcapRecord,
+    anonymizer: PrefixPreservingAnonymizer,
+    strip_payload: bool = False,
+) -> PcapRecord:
+    """Anonymize one captured frame; non-IPv4/TCP frames pass through."""
+    try:
+        parsed = frames.parse_frame(record.data)
+    except (frames.FrameError, ValueError):
+        return record
+    src = anonymizer.anonymize_ip(parsed.src_ip)
+    dst = anonymizer.anonymize_ip(parsed.dst_ip)
+    tcp = parsed.tcp
+    if strip_payload and tcp.payload:
+        tcp = tcpw.TcpHeader(
+            src_port=tcp.src_port,
+            dst_port=tcp.dst_port,
+            seq=tcp.seq,
+            ack=tcp.ack,
+            flags=tcp.flags,
+            window=tcp.window,
+            payload=bytes(len(tcp.payload)),
+            mss_option=tcp.mss_option,
+            wscale_option=tcp.wscale_option,
+            sack_permitted=tcp.sack_permitted,
+            sack_blocks=tcp.sack_blocks,
+            urgent=tcp.urgent,
+        )
+    data = frames.build_frame(
+        src,
+        dst,
+        tcp,
+        identification=parsed.ipv4.identification,
+        ttl=parsed.ipv4.ttl,
+    )
+    return PcapRecord(
+        timestamp_us=record.timestamp_us,
+        data=data,
+        original_length=record.original_length,
+    )
+
+
+def anonymize_pcap(
+    source: BinaryIO | str | Path,
+    target: BinaryIO | str | Path,
+    key: bytes,
+    strip_payload: bool = False,
+) -> int:
+    """Anonymize a whole capture file; returns the record count."""
+    anonymizer = PrefixPreservingAnonymizer(key)
+    count = 0
+    with PcapReader(source) as reader, PcapWriter(target) as writer:
+        for record in reader:
+            writer.write(anonymize_record(record, anonymizer, strip_payload))
+            count += 1
+    return count

@@ -1,0 +1,191 @@
+"""Command-line entry points for the analysis tool suite.
+
+Installed as console scripts (see ``pyproject.toml``):
+
+* ``tdat <trace.pcap>`` — full delay analysis of every connection;
+* ``pcap2bgp <trace.pcap> <out.mrt>`` — reconstruct BGP messages;
+* ``tcptrace-lite <trace.pcap>`` — connection summaries;
+* ``bgplot <trace.pcap>`` — square-wave panels / CSV export.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.series import (
+    SNIFFER_AT_RECEIVER,
+    SNIFFER_AT_SENDER,
+    SNIFFER_IN_MIDDLE,
+)
+from repro.analysis.tdat import analyze_pcap
+from repro.tools import bgplot, pcap2bgp, tcptrace_lite
+
+_LOCATIONS = [SNIFFER_AT_RECEIVER, SNIFFER_AT_SENDER, SNIFFER_IN_MIDDLE]
+
+
+def tdat_main(argv: list[str] | None = None) -> int:
+    """Analyze a pcap trace and print the delay report."""
+    parser = argparse.ArgumentParser(
+        prog="tdat", description="TCP Delay Analysis Tool"
+    )
+    parser.add_argument("pcap", help="input pcap trace")
+    parser.add_argument(
+        "--sniffer-location",
+        choices=_LOCATIONS,
+        default=SNIFFER_AT_RECEIVER,
+        help="where the capture was taken (default: receiver)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=100, help="square-wave panel width"
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of text panels",
+    )
+    args = parser.parse_args(argv)
+    report = analyze_pcap(args.pcap, sniffer_location=args.sniffer_location)
+    if not len(report):
+        print("no analyzable TCP connections found", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps([_analysis_to_dict(a) for a in report], indent=2))
+        return 0
+    for analysis in report:
+        print(bgplot.render_analysis(analysis, width=args.width))
+        print()
+    return 0
+
+
+def _analysis_to_dict(analysis) -> dict:
+    """Flatten one connection's analysis for JSON output."""
+    profile = analysis.connection.profile
+    src, sport, dst, dport = analysis.connection.key
+    rs, rr, rn = analysis.factors.group_vector
+    return {
+        "connection": f"{src}:{sport}<->{dst}:{dport}",
+        "sender": analysis.connection.sender_ip,
+        "profile": {
+            "mss": profile.mss,
+            "rtt_us": profile.rtt_us,
+            "d1_us": profile.d1_us,
+            "d2_us": profile.d2_us,
+            "max_advertised_window": profile.max_advertised_window,
+            "data_packets": profile.total_data_packets,
+            "data_bytes": profile.total_data_bytes,
+            "duration_us": profile.duration_us,
+        },
+        "retransmissions": len(analysis.labeling.retransmissions()),
+        "factors": {
+            "ratios": analysis.factors.ratios,
+            "groups": {"sender": rs, "receiver": rr, "network": rn},
+            "major": analysis.factors.major_factors(),
+        },
+        "detectors": {
+            "timer_gaps": {
+                "detected": analysis.timer_gaps.detected,
+                "timer_us": analysis.timer_gaps.timer_us,
+                "induced_delay_us": analysis.timer_gaps.induced_delay_us,
+            },
+            "consecutive_losses": {
+                "detected": analysis.consecutive_losses.detected,
+                "episodes": analysis.consecutive_losses.episodes,
+                "worst_run": analysis.consecutive_losses.worst_run,
+                "induced_delay_us": analysis.consecutive_losses.induced_delay_us,
+            },
+            "zero_ack_bug": {
+                "detected": analysis.zero_ack_bug.detected,
+                "occurrences": analysis.zero_ack_bug.occurrences,
+            },
+            "capture_voids": {
+                "detected": analysis.capture_voids.detected,
+                "phantom_bytes": analysis.capture_voids.phantom_bytes,
+                "excluded_us": analysis.capture_voids.excluded_us,
+            },
+        },
+    }
+
+
+def pcap2bgp_main(argv: list[str] | None = None) -> int:
+    """Reconstruct BGP messages from a pcap trace into an MRT file."""
+    parser = argparse.ArgumentParser(
+        prog="pcap2bgp",
+        description="Reconstruct BGP messages from a TCP packet trace",
+    )
+    parser.add_argument("pcap", help="input pcap trace")
+    parser.add_argument("mrt", help="output MRT file")
+    parser.add_argument("--local-as", type=int, default=0)
+    parser.add_argument("--peer-as", type=int, default=0)
+    args = parser.parse_args(argv)
+    count = pcap2bgp.pcap_to_mrt(
+        args.pcap, args.mrt, local_as=args.local_as, peer_as=args.peer_as
+    )
+    print(f"wrote {count} MRT records to {args.mrt}")
+    return 0
+
+
+def tcptrace_main(argv: list[str] | None = None) -> int:
+    """Print per-connection summaries of a pcap trace."""
+    parser = argparse.ArgumentParser(
+        prog="tcptrace-lite", description="TCP connection summaries"
+    )
+    parser.add_argument("pcap", help="input pcap trace")
+    args = parser.parse_args(argv)
+    rows = tcptrace_lite.summarize(args.pcap)
+    print(tcptrace_lite.format_report(rows))
+    return 0
+
+
+def anonymize_main(argv: list[str] | None = None) -> int:
+    """Prefix-preservingly anonymize a pcap for sharing."""
+    from repro.tools.anonymize import anonymize_pcap
+
+    parser = argparse.ArgumentParser(
+        prog="pcap-anonymize",
+        description="Prefix-preserving pcap anonymization for delay analysis",
+    )
+    parser.add_argument("pcap", help="input pcap trace")
+    parser.add_argument("out", help="anonymized output pcap")
+    parser.add_argument(
+        "--key", required=True,
+        help="anonymization key (same key -> same mapping)",
+    )
+    parser.add_argument(
+        "--strip-payload", action="store_true",
+        help="zero TCP payloads (lengths and timing preserved)",
+    )
+    args = parser.parse_args(argv)
+    count = anonymize_pcap(
+        args.pcap, args.out, args.key.encode(), strip_payload=args.strip_payload
+    )
+    print(f"anonymized {count} records -> {args.out}")
+    return 0
+
+
+def bgplot_main(argv: list[str] | None = None) -> int:
+    """Render event-series panels (or CSV) for a pcap trace."""
+    parser = argparse.ArgumentParser(
+        prog="bgplot", description="Event series visualizer"
+    )
+    parser.add_argument("pcap", help="input pcap trace")
+    parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of text panels"
+    )
+    parser.add_argument(
+        "--seq", action="store_true",
+        help="render a tcptrace-style time-sequence graph too",
+    )
+    parser.add_argument("--width", type=int, default=100)
+    args = parser.parse_args(argv)
+    report = analyze_pcap(args.pcap)
+    for analysis in report:
+        if args.csv:
+            print(bgplot.series_to_csv(analysis.series))
+        else:
+            print(bgplot.render_panel(analysis.series, width=args.width))
+            if args.seq:
+                print()
+                print(bgplot.render_time_sequence(analysis, width=args.width))
+        print()
+    return 0

@@ -1,0 +1,99 @@
+"""tcptrace-lite: per-connection summaries of a capture.
+
+The repo's stand-in for the patched tcptrace of the paper's tool suite
+(Table VI): connection inventory with the profile values T-DAT needs,
+plus retransmission counts from the labeling pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.analysis.labeling import (
+    KIND_DOWNSTREAM,
+    KIND_REORDERING,
+    KIND_UPSTREAM,
+    label_connection,
+)
+from repro.analysis.profile import Trace
+from repro.wire.pcap import PcapRecord
+
+
+@dataclass
+class ConnectionSummary:
+    """One row of the tcptrace-lite report."""
+
+    key: tuple
+    sender_ip: str
+    start_us: int
+    duration_us: int
+    data_packets: int
+    data_bytes: int
+    ack_packets: int
+    mss: int
+    rtt_us: int
+    max_advertised_window: int
+    retransmissions: int
+    upstream_losses: int
+    downstream_losses: int
+    reordered: int
+    saw_syn: bool
+    saw_fin: bool
+    saw_rst: bool
+
+    def format_row(self) -> str:
+        src, sport, dst, dport = self.key
+        return (
+            f"{src}:{sport} <-> {dst}:{dport}  "
+            f"dur={self.duration_us / 1e6:.3f}s pkts={self.data_packets} "
+            f"bytes={self.data_bytes} mss={self.mss} "
+            f"rtt={self.rtt_us / 1000:.1f}ms wnd={self.max_advertised_window} "
+            f"retx={self.retransmissions} "
+            f"(up={self.upstream_losses} down={self.downstream_losses} "
+            f"ooo={self.reordered})"
+        )
+
+
+def summarize(
+    source: BinaryIO | str | Path | list[PcapRecord],
+) -> list[ConnectionSummary]:
+    """Summarize every connection in a capture."""
+    trace = Trace.from_pcap(source)
+    rows = []
+    for connection in trace:
+        profile = connection.profile
+        if profile is None:
+            continue
+        labeling = label_connection(connection)
+        rows.append(
+            ConnectionSummary(
+                key=connection.key,
+                sender_ip=connection.sender_ip or "?",
+                start_us=profile.start_time_us,
+                duration_us=profile.duration_us,
+                data_packets=profile.total_data_packets,
+                data_bytes=profile.total_data_bytes,
+                ack_packets=profile.total_ack_packets,
+                mss=profile.mss,
+                rtt_us=profile.rtt_us,
+                max_advertised_window=profile.max_advertised_window,
+                retransmissions=len(labeling.retransmissions()),
+                upstream_losses=labeling.count(KIND_UPSTREAM),
+                downstream_losses=labeling.count(KIND_DOWNSTREAM),
+                reordered=labeling.count(KIND_REORDERING),
+                saw_syn=profile.saw_syn,
+                saw_fin=profile.saw_fin,
+                saw_rst=profile.saw_rst,
+            )
+        )
+    rows.sort(key=lambda r: r.start_us)
+    return rows
+
+
+def format_report(rows: list[ConnectionSummary]) -> str:
+    """The human-readable multi-line report."""
+    lines = [f"{len(rows)} TCP connection(s)"]
+    lines.extend(row.format_row() for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Full-frame composition: TCP header -> IPv4 -> Ethernet and back.
+
+The sniffer serializes simulated segments through :func:`build_frame`
+so captures contain genuine protocol bytes; the analyzer's front end
+recovers them with :func:`parse_frame`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wire import ethernet, ip, tcpw
+
+
+class FrameError(ValueError):
+    """Raised when a captured frame is not an IPv4/TCP frame."""
+
+
+@dataclass(frozen=True)
+class ParsedFrame:
+    """A fully decoded Ethernet/IPv4/TCP frame."""
+
+    eth: ethernet.EthernetFrame
+    ipv4: ip.Ipv4Header
+    tcp: tcpw.TcpHeader
+
+    @property
+    def src_ip(self) -> str:
+        return self.ipv4.src
+
+    @property
+    def dst_ip(self) -> str:
+        return self.ipv4.dst
+
+    @property
+    def flow(self) -> tuple[str, int, str, int]:
+        """The (src_ip, src_port, dst_ip, dst_port) 4-tuple."""
+        return (
+            self.ipv4.src,
+            self.tcp.src_port,
+            self.ipv4.dst,
+            self.tcp.dst_port,
+        )
+
+
+def build_frame(
+    src_ip: str,
+    dst_ip: str,
+    tcp_header: tcpw.TcpHeader,
+    identification: int = 0,
+    ttl: int = 64,
+) -> bytes:
+    """Serialize a TCP header + payload into a complete Ethernet frame."""
+    tcp_bytes = tcp_header.encode(src_ip, dst_ip)
+    ip_bytes = ip.Ipv4Header(
+        src=src_ip,
+        dst=dst_ip,
+        payload=tcp_bytes,
+        identification=identification,
+        ttl=ttl,
+    ).encode()
+    frame = ethernet.EthernetFrame(
+        dst_mac=ethernet.mac_from_ip(dst_ip),
+        src_mac=ethernet.mac_from_ip(src_ip),
+        ethertype=ethernet.ETHERTYPE_IPV4,
+        payload=ip_bytes,
+    )
+    return frame.encode()
+
+
+def parse_frame(data: bytes, verify_checksums: bool = False) -> ParsedFrame:
+    """Decode a captured Ethernet frame down to the TCP layer.
+
+    Raises :class:`FrameError` for non-IPv4 or non-TCP frames so callers
+    can skip them (real captures contain ARP, LLDP, ...).
+    """
+    eth = ethernet.decode(data)
+    if eth.ethertype != ethernet.ETHERTYPE_IPV4:
+        raise FrameError(f"not IPv4 (ethertype 0x{eth.ethertype:04x})")
+    ipv4 = ip.decode(eth.payload, verify_checksum=verify_checksums)
+    if ipv4.protocol != ip.PROTO_TCP:
+        raise FrameError(f"not TCP (protocol {ipv4.protocol})")
+    tcp = tcpw.decode(
+        ipv4.payload,
+        src_ip=ipv4.src,
+        dst_ip=ipv4.dst,
+        verify_checksum=verify_checksums,
+    )
+    return ParsedFrame(eth=eth, ipv4=ipv4, tcp=tcp)

@@ -1,0 +1,129 @@
+"""IPv4 header encoding and decoding (no options, no fragmentation).
+
+BGP sessions between routers never fragment in practice (MSS keeps TCP
+segments under the MTU), so this codec supports exactly what the
+captures contain: 20-byte headers, protocol TCP, valid checksums.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+PROTO_TCP = 6
+HEADER_LEN = 20
+
+_HEADER = struct.Struct("!BBHHHBBH4s4s")
+
+
+class IpError(ValueError):
+    """Raised on malformed IPv4 headers."""
+
+
+def ip_to_bytes(ip: str) -> bytes:
+    """Dotted-quad string to 4 network-order bytes."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise IpError(f"bad IPv4 address {ip!r}")
+    try:
+        octets = [int(p) for p in parts]
+    except ValueError as exc:
+        raise IpError(f"bad IPv4 address {ip!r}") from exc
+    if not all(0 <= o <= 255 for o in octets):
+        raise IpError(f"bad IPv4 address {ip!r}")
+    return bytes(octets)
+
+
+def bytes_to_ip(raw: bytes) -> str:
+    """4 bytes to a dotted-quad string."""
+    if len(raw) != 4:
+        raise IpError(f"IPv4 address needs 4 bytes, got {len(raw)}")
+    return ".".join(str(b) for b in raw)
+
+
+def checksum(data: bytes) -> int:
+    """The Internet checksum (RFC 1071) over ``data``."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+@dataclass(frozen=True)
+class Ipv4Header:
+    """A decoded (or to-be-encoded) IPv4 header plus payload."""
+
+    src: str
+    dst: str
+    payload: bytes
+    ttl: int = 64
+    protocol: int = PROTO_TCP
+    identification: int = 0
+    dscp: int = 0
+    header_checksum: int = field(default=0, compare=False)
+
+    @property
+    def total_length(self) -> int:
+        """Header plus payload length in bytes."""
+        return HEADER_LEN + len(self.payload)
+
+    def encode(self) -> bytes:
+        """Serialize with a freshly computed header checksum."""
+        version_ihl = (4 << 4) | (HEADER_LEN // 4)
+        flags_fragment = 0x4000  # Don't Fragment, offset 0.
+        header = _HEADER.pack(
+            version_ihl,
+            self.dscp << 2,
+            self.total_length,
+            self.identification,
+            flags_fragment,
+            self.ttl,
+            self.protocol,
+            0,
+            ip_to_bytes(self.src),
+            ip_to_bytes(self.dst),
+        )
+        csum = checksum(header)
+        return header[:10] + struct.pack("!H", csum) + header[12:] + self.payload
+
+
+def decode(data: bytes, verify_checksum: bool = True) -> Ipv4Header:
+    """Parse wire bytes into an :class:`Ipv4Header`."""
+    if len(data) < HEADER_LEN:
+        raise IpError(f"IPv4 packet too short: {len(data)} bytes")
+    (
+        version_ihl,
+        tos,
+        total_length,
+        identification,
+        _flags_fragment,
+        ttl,
+        protocol,
+        header_checksum,
+        src_raw,
+        dst_raw,
+    ) = _HEADER.unpack_from(data)
+    version = version_ihl >> 4
+    ihl = (version_ihl & 0x0F) * 4
+    if version != 4:
+        raise IpError(f"not IPv4 (version={version})")
+    if ihl < HEADER_LEN or len(data) < ihl:
+        raise IpError(f"bad IHL {ihl}")
+    if total_length < ihl or total_length > len(data):
+        raise IpError(
+            f"total length {total_length} inconsistent with {len(data)} bytes"
+        )
+    if verify_checksum and checksum(data[:ihl]) != 0:
+        raise IpError("IPv4 header checksum mismatch")
+    return Ipv4Header(
+        src=bytes_to_ip(src_raw),
+        dst=bytes_to_ip(dst_raw),
+        payload=data[ihl:total_length],
+        ttl=ttl,
+        protocol=protocol,
+        identification=identification,
+        dscp=tos >> 2,
+        header_checksum=header_checksum,
+    )

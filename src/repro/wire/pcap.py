@@ -1,0 +1,175 @@
+"""pcap (libpcap classic) file reading and writing.
+
+Implements the 24-byte global header plus 16-byte per-record headers,
+microsecond timestamps, both byte orders on read, and truncation-aware
+iteration so analysis survives the capture drops the paper notes
+tcpdump suffers (section II-A).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.core.units import from_pcap_timestamp, pcap_timestamp
+
+MAGIC_US = 0xA1B2C3D4
+MAGIC_US_SWAPPED = 0xD4C3B2A1
+LINKTYPE_ETHERNET = 1
+
+GLOBAL_HEADER = struct.Struct("IHHiIII")
+RECORD_HEADER = struct.Struct("IIII")
+DEFAULT_SNAPLEN = 65535
+
+
+class PcapError(ValueError):
+    """Raised on malformed pcap files."""
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured packet: integer-microsecond timestamp plus raw frame."""
+
+    timestamp_us: int
+    data: bytes
+    original_length: int | None = None
+
+    @property
+    def captured_length(self) -> int:
+        """Bytes actually stored in the file."""
+        return len(self.data)
+
+    @property
+    def wire_length(self) -> int:
+        """Original on-the-wire length (>= captured length)."""
+        return self.original_length if self.original_length is not None else len(self.data)
+
+
+class PcapWriter:
+    """Streams :class:`PcapRecord` items into a classic pcap file."""
+
+    def __init__(
+        self,
+        target: BinaryIO | str | Path,
+        linktype: int = LINKTYPE_ETHERNET,
+        snaplen: int = DEFAULT_SNAPLEN,
+    ) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: BinaryIO = open(target, "wb")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.snaplen = snaplen
+        self._stream.write(
+            GLOBAL_HEADER.pack(MAGIC_US, 2, 4, 0, 0, snaplen, linktype)
+        )
+
+    def write(self, record: PcapRecord) -> None:
+        """Append one record, honouring the snap length."""
+        data = record.data[: self.snaplen]
+        ts_sec, ts_usec = pcap_timestamp(record.timestamp_us)
+        self._stream.write(
+            RECORD_HEADER.pack(ts_sec, ts_usec, len(data), record.wire_length)
+        )
+        self._stream.write(data)
+
+    def write_all(self, records: Iterable[PcapRecord]) -> None:
+        """Append many records."""
+        for record in records:
+            self.write(record)
+
+    def close(self) -> None:
+        """Flush and close (only closes streams this writer opened)."""
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterates :class:`PcapRecord` items out of a classic pcap file."""
+
+    def __init__(self, source: BinaryIO | str | Path) -> None:
+        if isinstance(source, (str, Path)):
+            self._stream: BinaryIO = open(source, "rb")
+            self._owns_stream = True
+        else:
+            self._stream = source
+            self._owns_stream = False
+        header = self._stream.read(GLOBAL_HEADER.size)
+        if len(header) < GLOBAL_HEADER.size:
+            raise PcapError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == MAGIC_US:
+            self._endian = "<"
+        elif magic == MAGIC_US_SWAPPED:
+            self._endian = ">"
+        else:
+            raise PcapError(f"unrecognized pcap magic 0x{magic:08x}")
+        fields = struct.unpack(self._endian + "IHHiIII", header)
+        _, major, minor, _, _, self.snaplen, self.linktype = fields
+        if (major, minor) != (2, 4):
+            raise PcapError(f"unsupported pcap version {major}.{minor}")
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        record_struct = struct.Struct(self._endian + "IIII")
+        while True:
+            header = self._stream.read(record_struct.size)
+            if not header:
+                return
+            if len(header) < record_struct.size:
+                # A truncated trailing record: tolerate, like tcpdump -r.
+                return
+            ts_sec, ts_usec, incl_len, orig_len = record_struct.unpack(header)
+            data = self._stream.read(incl_len)
+            if len(data) < incl_len:
+                return
+            yield PcapRecord(
+                timestamp_us=from_pcap_timestamp(ts_sec, ts_usec),
+                data=data,
+                original_length=orig_len,
+            )
+
+    def close(self) -> None:
+        """Close the underlying stream if this reader opened it."""
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_pcap(source: BinaryIO | str | Path) -> list[PcapRecord]:
+    """Read an entire pcap file into memory."""
+    with PcapReader(source) as reader:
+        return list(reader)
+
+
+def write_pcap(
+    target: BinaryIO | str | Path,
+    records: Iterable[PcapRecord],
+    snaplen: int = DEFAULT_SNAPLEN,
+) -> None:
+    """Write ``records`` as a complete pcap file."""
+    with PcapWriter(target, snaplen=snaplen) as writer:
+        writer.write_all(records)
+
+
+def records_to_bytes(records: Iterable[PcapRecord]) -> bytes:
+    """Render a pcap file as an in-memory byte string."""
+    buffer = io.BytesIO()
+    write_pcap(buffer, records)
+    return buffer.getvalue()

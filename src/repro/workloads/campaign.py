@@ -1,0 +1,664 @@
+"""Measurement campaigns: the repo's stand-ins for the paper's traces.
+
+Three campaigns mirror Table I of the paper:
+
+* ``ISP_A-Vendor`` — iBGP routers monitored by a vendor looking-glass
+  (no MRT archive; transfer extents recovered via ``pcap2bgp`` + MCT,
+  as the paper does for vendor traces);
+* ``ISP_A-Quagga`` — iBGP routers monitored by a Quagga collector with
+  an MRT archive (MCT runs on the archive);
+* ``RV`` — RouteViews-style eBGP peers across the Internet: larger and
+  more diverse RTTs, a 16 KB maximum advertised window, and TCP stacks
+  that back off aggressively after timeouts.
+
+Each campaign draws per-transfer conditions (sender model, loss,
+collector load, table size) from a seeded mixture so the population
+exhibits the heterogeneity behind the paper's Figures 3, 4, 14, 16 and
+Tables II, IV, V, while every run stays exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.detectors import (
+    ConsecutiveLossReport,
+    PeerGroupBlockingReport,
+    TimerGapReport,
+    ZeroAckBugReport,
+    detect_long_keepalive_pauses,
+    detect_peer_group_blocking,
+)
+from repro.analysis.factors import FactorReport
+from repro.analysis.mct import TableTransfer, minimum_collection_time
+from repro.analysis.tdat import ConnectionAnalysis, analyze_pcap
+from repro.bgp.collector import CollectorCpu, QuaggaCollector, VendorCollector
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.peer_group import PeerGroup
+from repro.bgp.sender_models import (
+    ImmediateSender,
+    RateLimitedSender,
+    TimerBatchSender,
+)
+from repro.bgp.table import Rib, generate_table
+from repro.core.units import seconds
+from repro.netsim.link import BernoulliLoss, WindowLoss
+from repro.netsim.random import RandomStreams
+from repro.netsim.simulator import Simulator
+from repro.tcp.options import TcpConfig
+from repro.tools.pcap2bgp import pcap_to_bgp
+from repro.workloads.scenarios import MonitoringSetup, RouterParams
+
+# Pathology labels (ground truth, recorded per transfer).
+CLEAN = "clean"
+TIMER = "timer"
+RATE_LIMITED = "rate-limited"
+UPSTREAM_LOSS = "upstream-loss"
+DOWNSTREAM_LOSS = "downstream-loss"
+LOADED_COLLECTOR = "loaded-collector"
+ZERO_ACK_BUG = "zero-ack-bug"
+PEER_GROUP = "peer-group"
+
+#: the paper's observed timer values (section IV-B, Figure 17), in ms.
+KNOWN_TIMERS_MS = (80, 100, 200, 400)
+
+
+@dataclass
+class TransferRecord:
+    """One analyzed table transfer of a campaign."""
+
+    campaign: str
+    router: str
+    episode: int
+    trigger: str  # "sender" | "receiver"
+    pathology: str
+    table_prefixes: int
+    wire_bytes: int
+    data_packets: int
+    rtt_us: int
+    duration_us: int
+    mct_ended_by: str
+    concurrency: int
+    true_timer_us: int | None
+    factors: FactorReport
+    timer: TimerGapReport
+    consecutive: ConsecutiveLossReport
+    zero_bug: ZeroAckBugReport
+    keepalive_pause: PeerGroupBlockingReport | None = None
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_us / 1e6
+
+
+@dataclass
+class CampaignResult:
+    """All transfers of one campaign plus aggregate statistics."""
+
+    name: str
+    collector_kind: str
+    records: list[TransferRecord] = field(default_factory=list)
+    total_packets: int = 0
+    total_bytes: int = 0
+    routers: int = 0
+
+    def durations_s(self) -> list[float]:
+        return sorted(r.duration_s for r in self.records)
+
+    def by_pathology(self, pathology: str) -> list[TransferRecord]:
+        return [r for r in self.records if r.pathology == pathology]
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one campaign's mixture."""
+
+    name: str
+    collector_kind: str  # "vendor" | "quagga"
+    seed: int
+    transfers: int
+    routers: int
+    peer_group_episodes: int = 1
+    zero_bug_episodes: int = 1
+    # ISP backbones sit a few ms away; RouteViews peers much farther.
+    rtt_range_ms: tuple[float, float] = (3.0, 12.0)
+    collector_window: int = 65535
+    rto_backoff_factor: float = 2.0
+    table_sizes: tuple[int, ...] = (8_000, 20_000, 45_000)
+    timer_values_ms: tuple[int, ...] = (100, 200)
+    # Mixture weights: clean / timer / rate / up-loss / down-loss / loaded.
+    # Timer-driven and rate-limited senders dominate, matching the
+    # paper's finding that BGP application factors outnumber TCP ones.
+    weights: tuple[float, ...] = (0.20, 0.30, 0.16, 0.10, 0.12, 0.12)
+    # Residual path loss applied even to "clean" transfers (RouteViews
+    # peers cross the open Internet; ISP_A backbones do not).
+    background_loss_rate: float = 0.0
+    # Random-loss severity of upstream-loss episodes: ISP backbones see
+    # brief light congestion; Internet paths lose much more.
+    upstream_loss_range: tuple[float, float] = (0.008, 0.02)
+    # Fraction of AS-path hops drawn from 4-byte AS space (RFC 6793).
+    wide_asn_fraction: float = 0.0
+    # Scale of downstream blackout durations (RV's aggressive RTO
+    # backoff turns longer blackouts into much longer recoveries).
+    loss_window_scale: float = 1.0
+
+
+def isp_vendor_config(seed: int = 11, transfers: int = 40) -> CampaignConfig:
+    """ISP_A monitored by the vendor looking-glass (paper's ISP_A-1)."""
+    return CampaignConfig(
+        name="ISP_A-Vendor",
+        collector_kind="vendor",
+        seed=seed,
+        transfers=transfers,
+        routers=max(4, transfers // 5),
+        timer_values_ms=(200, 400),
+    )
+
+
+def isp_quagga_config(seed: int = 22, transfers: int = 30) -> CampaignConfig:
+    """ISP_A monitored by the Quagga collector (paper's ISP_A-2)."""
+    return CampaignConfig(
+        name="ISP_A-Quagga",
+        collector_kind="quagga",
+        seed=seed,
+        transfers=transfers,
+        routers=max(4, transfers // 5),
+        timer_values_ms=(100, 200),
+    )
+
+
+def routeviews_config(seed: int = 33, transfers: int = 24) -> CampaignConfig:
+    """RouteViews-style eBGP monitoring (paper's RV trace)."""
+    return CampaignConfig(
+        name="RV",
+        collector_kind="vendor",
+        seed=seed,
+        transfers=transfers,
+        routers=max(6, transfers // 3),
+        rtt_range_ms=(15.0, 120.0),
+        collector_window=16384,
+        rto_backoff_factor=4.0,  # "backoff more aggressively" (IV-B)
+        timer_values_ms=(80, 400),
+        weights=(0.10, 0.22, 0.22, 0.22, 0.14, 0.10),
+        background_loss_rate=0.012,
+        loss_window_scale=3.0,
+        upstream_loss_range=(0.02, 0.06),
+        # RouteViews peers the open Internet: by 2010 4-byte ASNs were
+        # appearing in paths (carried via AS_TRANS + AS4_PATH).
+        wide_asn_fraction=0.08,
+    )
+
+
+PATHOLOGIES = (
+    CLEAN, TIMER, RATE_LIMITED, UPSTREAM_LOSS, DOWNSTREAM_LOSS, LOADED_COLLECTOR,
+)
+
+
+@dataclass
+class EpisodeSpec:
+    """Everything needed to simulate and analyze one transfer episode."""
+
+    campaign: str
+    collector_kind: str
+    episode: int
+    router: str
+    pathology: str
+    trigger: str
+    table: Rib
+    rtt_ms: float
+    collector_window: int
+    rto_backoff_factor: float
+    timer_ms: int | None = None
+    messages_per_tick: int = 10
+    rate_bytes_per_s: float = 0.0
+    loss_rate: float = 0.0
+    loss_window_s: tuple[float, float] | None = None
+    cpu_per_message_us: int = 60
+    concurrency: int = 1
+    seed: int = 0
+
+
+def _draw_specs(config: CampaignConfig) -> tuple[list[EpisodeSpec], dict[int, Rib]]:
+    streams = RandomStreams(config.seed)
+    rng = streams.stream("mixture")
+    tables = {
+        size: generate_table(
+            size,
+            streams.stream(f"table-{size}"),
+            wide_asn_fraction=config.wide_asn_fraction,
+        )
+        for size in config.table_sizes
+    }
+    specs: list[EpisodeSpec] = []
+    for episode in range(config.transfers):
+        router_index = episode % config.routers
+        if episode < len(PATHOLOGIES):
+            # Guarantee coverage: the first six episodes cycle through
+            # every pathology once; the rest follow the mixture.
+            pathology = PATHOLOGIES[episode]
+        else:
+            pathology = rng.choices(PATHOLOGIES, config.weights)[0]
+        size = rng.choice(config.table_sizes)
+        rtt_ms = rng.uniform(*config.rtt_range_ms)
+        trigger = "sender" if rng.random() < 0.7 else "receiver"
+        spec = EpisodeSpec(
+            campaign=config.name,
+            collector_kind=config.collector_kind,
+            episode=episode,
+            router=f"{config.name}-r{router_index}",
+            pathology=pathology,
+            trigger=trigger,
+            table=tables[size],
+            rtt_ms=rtt_ms,
+            collector_window=config.collector_window,
+            rto_backoff_factor=config.rto_backoff_factor,
+            seed=config.seed * 1000 + episode,
+        )
+        if pathology == CLEAN and config.background_loss_rate > 0:
+            spec.loss_rate = config.background_loss_rate
+        if pathology == TIMER:
+            # Timer gaps need enough ticks to form a distribution: use
+            # the biggest table and modest per-tick batches.
+            spec.table = tables[max(config.table_sizes)]
+            spec.timer_ms = rng.choice(config.timer_values_ms)
+            spec.messages_per_tick = rng.choice((8, 15, 30))
+            # A timer shorter than the RTT leaves no idle gap on the
+            # wire: only nearby peers expose their timers (which is why
+            # the paper could see them at all).
+            spec.rtt_ms = min(spec.rtt_ms, spec.timer_ms / 3)
+        elif pathology == RATE_LIMITED:
+            spec.rate_bytes_per_s = rng.uniform(5_000, 40_000)
+        elif pathology == UPSTREAM_LOSS:
+            spec.loss_rate = rng.uniform(*config.upstream_loss_range)
+        elif pathology == DOWNSTREAM_LOSS:
+            # Blackout early enough to land inside the transfer, on the
+            # biggest table so there is still data to lose.
+            spec.table = tables[max(config.table_sizes)]
+            # Start after session establishment and the first slow-start
+            # rounds (both scale with the RTT) so whole flights die.
+            start = rng.uniform(0.0, 0.01) + 7 * spec.rtt_ms / 1000
+            length = rng.uniform(0.2, 1.0) * config.loss_window_scale
+            spec.loss_window_s = (start, start + length)
+        elif pathology == LOADED_COLLECTOR:
+            # Receiver pressure is only visible when the table dwarfs
+            # the receive buffer, so use the biggest one.
+            spec.table = tables[max(config.table_sizes)]
+            spec.cpu_per_message_us = rng.choice((1_500, 3_000, 6_000))
+            if trigger == "receiver":
+                spec.concurrency = rng.choice((2, 4, 6))
+        specs.append(spec)
+    return specs, tables
+
+
+def _collector_class(kind: str):
+    return QuaggaCollector if kind == "quagga" else VendorCollector
+
+
+def _sender_model(spec: EpisodeSpec, sim: Simulator):
+    if spec.pathology == TIMER:
+        return TimerBatchSender(
+            sim, spec.timer_ms * 1000, spec.messages_per_tick
+        )
+    if spec.pathology == RATE_LIMITED:
+        return RateLimitedSender(sim, spec.rate_bytes_per_s)
+    return ImmediateSender()
+
+
+def run_episode(spec: EpisodeSpec) -> list[TransferRecord]:
+    """Simulate one episode, capture it, and run T-DAT on the capture."""
+    sim = Simulator()
+    streams = RandomStreams(spec.seed)
+    setup = MonitoringSetup(
+        sim,
+        collector_cls=_collector_class(spec.collector_kind),
+        collector_tcp=TcpConfig(recv_buffer_bytes=spec.collector_window),
+        cpu=CollectorCpu(sim, per_message_us=spec.cpu_per_message_us),
+    )
+    upstream_delay = int(spec.rtt_ms * 1000 / 2) - 550
+    handles = []
+    for i in range(spec.concurrency):
+        upstream_loss = None
+        downstream_loss = None
+        if spec.loss_rate > 0:
+            upstream_loss = BernoulliLoss(
+                spec.loss_rate, streams.stream(f"loss-{i}")
+            )
+        if spec.loss_window_s is not None:
+            start_s, end_s = spec.loss_window_s
+            downstream_loss = WindowLoss([(seconds(start_s), seconds(end_s))])
+        params = RouterParams(
+            name=f"{spec.router}-{i}" if spec.concurrency > 1 else spec.router,
+            ip=f"10.{spec.episode % 250 + 1}.0.{i + 1}",
+            table=spec.table,
+            sender_model=_sender_model(spec, sim),
+            tcp=TcpConfig(rto_backoff_factor=spec.rto_backoff_factor),
+            upstream_delay_us=max(upstream_delay, 100),
+            upstream_loss=upstream_loss,
+            downstream_loss=downstream_loss,
+        )
+        handles.append(setup.add_router(params))
+    setup.start()
+    sim.run(until_us=seconds(900))
+
+    records = setup.sniffer.sorted_records()
+    report = analyze_pcap(records, min_data_packets=2)
+    transfer_extents = _transfer_extents(setup, records)
+    results: list[TransferRecord] = []
+    for handle in handles:
+        key = _connection_key(handle, setup)
+        if key not in report.analyses:
+            continue
+        analysis = report.get(key)
+        extent = transfer_extents.get(key)
+        window = (0, extent.end_us) if extent is not None else None
+        if window is not None:
+            # Re-run the pipeline clipped to the MCT window, as the
+            # paper's analysis period is the table-transfer extent.
+            from repro.analysis.tdat import analyze_connection
+
+            analysis = analyze_connection(analysis.connection, window=window)
+        results.append(_make_record(spec, handle, analysis, extent))
+    return results
+
+
+def _connection_key(handle, setup) -> tuple:
+    from repro.analysis.profile import canonical_key
+
+    return canonical_key(
+        handle.params.ip,
+        handle.endpoint.local_port,
+        setup.collector_host.ip,
+        179,
+    )
+
+
+def _transfer_extents(setup, records) -> dict[tuple, TableTransfer]:
+    """MCT per connection: archive-based for Quagga, pcap2bgp otherwise."""
+    from repro.analysis.profile import canonical_key
+
+    extents: dict[tuple, TableTransfer] = {}
+    if setup.collector.archives_mrt:
+        by_peer: dict[str, list] = {}
+        for record in setup.collector.archive:
+            if isinstance(record.message, UpdateMessage):
+                by_peer.setdefault(record.peer_ip, []).append(
+                    (record.timestamp_us, record.message)
+                )
+        for handle in setup.routers:
+            updates = by_peer.get(handle.params.ip, [])
+            transfer = minimum_collection_time(updates, start_us=0)
+            if transfer is not None:
+                key = _connection_key(handle, setup)
+                extents[key] = transfer
+    else:
+        for key, stream in pcap_to_bgp(records).items():
+            updates = [(m.timestamp_us, m.message) for m in stream.updates()]
+            transfer = minimum_collection_time(updates, start_us=0)
+            if transfer is not None:
+                extents[key] = transfer
+    return extents
+
+
+def _make_record(
+    spec: EpisodeSpec,
+    handle,
+    analysis: ConnectionAnalysis,
+    extent: TableTransfer | None,
+) -> TransferRecord:
+    profile = analysis.connection.profile
+    duration = extent.duration_us if extent is not None else profile.duration_us
+    pause = detect_long_keepalive_pauses(analysis.series, analysis.connection)
+    return TransferRecord(
+        campaign=spec.campaign,
+        router=spec.router,
+        episode=spec.episode,
+        trigger=spec.trigger,
+        pathology=spec.pathology,
+        table_prefixes=len(spec.table),
+        wire_bytes=profile.total_data_bytes,
+        data_packets=profile.total_data_packets,
+        rtt_us=profile.rtt_us,
+        duration_us=max(duration, 1),
+        mct_ended_by=extent.ended_by if extent is not None else "none",
+        concurrency=spec.concurrency,
+        true_timer_us=spec.timer_ms * 1000 if spec.timer_ms else None,
+        factors=analysis.factors,
+        timer=analysis.timer_gaps,
+        consecutive=analysis.consecutive_losses,
+        zero_bug=analysis.zero_ack_bug,
+        keepalive_pause=pause,
+    )
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Run every episode of a campaign and collect the records."""
+    specs, _tables = _draw_specs(config)
+    result = CampaignResult(
+        name=config.name,
+        collector_kind=config.collector_kind,
+        routers=config.routers,
+    )
+    for spec in specs:
+        for record in run_episode(spec):
+            result.records.append(record)
+            result.total_packets += record.data_packets
+            result.total_bytes += record.wire_bytes
+    # Dedicated pathological episodes.
+    for i in range(config.zero_bug_episodes):
+        record = run_zero_ack_bug_episode(config, index=i)
+        if record is not None:
+            result.records.append(record)
+            result.total_packets += record.data_packets
+            result.total_bytes += record.wire_bytes
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Special episodes                                                         #
+# ---------------------------------------------------------------------- #
+def run_zero_ack_bug_episode(
+    config: CampaignConfig, index: int = 0
+) -> TransferRecord | None:
+    """A transfer whose sender TCP has the zero-window probe bug."""
+    sim = Simulator()
+    streams = RandomStreams(config.seed + 777 + index)
+    setup = MonitoringSetup(
+        sim,
+        collector_cls=_collector_class(config.collector_kind),
+        collector_tcp=TcpConfig(recv_buffer_bytes=8 * 1400, mss=1400),
+        # A bursty receiver app: long read stalls create the repeated
+        # zero-window episodes that arm persist probes, and the resume
+        # instants race the probe transmission (the bug's trigger).
+        cpu=CollectorCpu(
+            sim,
+            per_message_us=400,
+            stall_every_us=seconds(1.2),
+            stall_duration_us=620_000,
+        ),
+    )
+    table = generate_table(120_000, streams.stream("table"))
+    params = RouterParams(
+        name=f"{config.name}-bug{index}",
+        ip="10.254.0.1",
+        table=table,
+        tcp=TcpConfig(zero_ack_bug=True, zero_window_probe_delay_us=200_000),
+    )
+    handle = setup.add_router(params)
+    setup.start()
+    sim.run(until_us=seconds(900))
+    records = setup.sniffer.sorted_records()
+    report = analyze_pcap(records, min_data_packets=2)
+    key = _connection_key(handle, setup)
+    if key not in report.analyses:
+        return None
+    extents = _transfer_extents(setup, records)
+    extent = extents.get(key)
+    analysis = report.get(key)
+    if extent is not None:
+        from repro.analysis.tdat import analyze_connection
+
+        analysis = analyze_connection(analysis.connection, window=(0, extent.end_us))
+    spec = EpisodeSpec(
+        campaign=config.name,
+        collector_kind=config.collector_kind,
+        episode=10_000 + index,
+        router=params.name,
+        pathology=ZERO_ACK_BUG,
+        trigger="sender",
+        table=table,
+        rtt_ms=9.0,
+        collector_window=8 * 1400,
+        rto_backoff_factor=2.0,
+    )
+    return _make_record(spec, handle, analysis, extent)
+
+
+@dataclass
+class PeerGroupEpisodeResult:
+    """Output of one peer-group blocking episode."""
+
+    blocked_report: PeerGroupBlockingReport
+    quagga_record: TransferRecord | None
+    blocking_duration_us: int
+
+
+def run_peer_group_episode(
+    seed: int = 99,
+    hold_time_s: int = 180,
+    table_size: int = 20_000,
+    fail_after_s: float = 2.0,
+    campaign: str = "ISP_A",
+) -> PeerGroupEpisodeResult:
+    """One router replicating to Quagga + Vendor collectors; the vendor
+    box dies mid-transfer and blocks the group until its hold timer
+    fires — the paper's Figure 9 / Table V scenario."""
+    from repro.bgp.speaker import BgpSession
+
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    setup_q = MonitoringSetup(
+        sim, collector_cls=QuaggaCollector, collector_ip="10.255.0.1",
+        hold_time_s=hold_time_s,
+    )
+    setup_v = MonitoringSetup(
+        sim, collector_cls=VendorCollector, collector_ip="10.255.0.2",
+        hold_time_s=hold_time_s,
+    )
+    table = generate_table(table_size, streams.stream("table"))
+    params_q = RouterParams(
+        name="rtr", ip="10.9.0.1", table=None, hold_time_s=hold_time_s,
+        announce_on_established=False,
+    )
+    handle_q = setup_q.add_router(params_q)
+    params_v = RouterParams(
+        name="rtr", ip="10.9.0.1", table=None, hold_time_s=hold_time_s,
+        announce_on_established=False,
+    )
+    handle_v = setup_v.add_router(params_v, host=handle_q.host)
+    group = PeerGroup(
+        sim,
+        [handle_q.session, handle_v.session],
+        batch_messages=10,
+        poll_interval_us=20_000,
+    )
+    setup_q.start()
+    setup_v.start()
+    sim.run(until_us=seconds(2))  # establish both sessions
+    group.announce_table(table)
+    # The vendor box dies ``fail_after_s`` into the transfer (t1 of the
+    # paper's Figure 9).
+    sim.schedule(seconds(fail_after_s), setup_v.collector.kill)
+    sim.run(until_us=seconds(hold_time_s + 120))
+
+    report_q = analyze_pcap(setup_q.sniffer.sorted_records(), min_data_packets=2)
+    report_v = analyze_pcap(setup_v.sniffer.sorted_records(), min_data_packets=2)
+    key_q = _connection_key(handle_q, setup_q)
+    key_v = _connection_key(handle_v, setup_v)
+    analysis_q = report_q.analyses.get(key_q)
+    analysis_v = report_v.analyses.get(key_v)
+    blocked = PeerGroupBlockingReport(detected=False)
+    if analysis_q is not None and analysis_v is not None:
+        blocked = detect_peer_group_blocking(
+            analysis_q.series, analysis_q.connection, analysis_v.series
+        )
+    quagga_record = None
+    if analysis_q is not None:
+        extents = _transfer_extents(setup_q, setup_q.sniffer.sorted_records())
+        extent = extents.get(key_q)
+        spec = EpisodeSpec(
+            campaign=campaign,
+            collector_kind="quagga",
+            episode=20_000,
+            router="rtr",
+            pathology=PEER_GROUP,
+            trigger="receiver",
+            table=table,
+            rtt_ms=9.0,
+            collector_window=65535,
+            rto_backoff_factor=2.0,
+        )
+        quagga_record = _make_record(spec, handle_q, analysis_q, extent)
+    return PeerGroupEpisodeResult(
+        blocked_report=blocked,
+        quagga_record=quagga_record,
+        blocking_duration_us=blocked.induced_delay_us,
+    )
+
+
+def run_concurrency_sweep(
+    concurrencies: tuple[int, ...] = (1, 2, 4, 8, 12, 16),
+    seed: int = 55,
+    table_size: int = 40_000,
+    cpu_per_message_us: int = 40,
+) -> dict[int, dict[str, float]]:
+    """The paper's Figure 15: concurrent transfers vs receiver ratios.
+
+    Returns, per concurrency level, the mean ``bgp_receiver_app`` and
+    ``tcp_advertised_window`` delay ratios across the concurrent
+    transfers.
+    """
+    results: dict[int, dict[str, float]] = {}
+    table = generate_table(table_size, RandomStreams(seed).stream("table"))
+    for k in concurrencies:
+        sim = Simulator()
+        setup = MonitoringSetup(
+            sim,
+            cpu=CollectorCpu(sim, per_message_us=cpu_per_message_us),
+        )
+        handles = []
+        for i in range(k):
+            handles.append(
+                setup.add_router(
+                    RouterParams(
+                        name=f"c{i}",
+                        ip=f"10.77.0.{i + 1}",
+                        table=table,
+                    )
+                )
+            )
+        setup.start()
+        sim.run(until_us=seconds(900))
+        records = setup.sniffer.sorted_records()
+        report = analyze_pcap(records, min_data_packets=2)
+        extents = _transfer_extents(setup, records)
+        bgp_ratios = []
+        tcp_ratios = []
+        for handle in handles:
+            key = _connection_key(handle, setup)
+            if key not in report.analyses:
+                continue
+            extent = extents.get(key)
+            analysis = report.get(key)
+            if extent is not None:
+                from repro.analysis.tdat import analyze_connection
+
+                analysis = analyze_connection(
+                    analysis.connection, window=(0, extent.end_us)
+                )
+            bgp_ratios.append(analysis.factors.ratios["bgp_receiver_app"])
+            tcp_ratios.append(analysis.factors.ratios["tcp_advertised_window"])
+        results[k] = {
+            "bgp_receiver_app": sum(bgp_ratios) / max(len(bgp_ratios), 1),
+            "tcp_advertised_window": sum(tcp_ratios) / max(len(tcp_ratios), 1),
+        }
+    return results

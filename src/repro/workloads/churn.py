@@ -1,0 +1,175 @@
+"""Session churn: reset storms and steady-state update churn.
+
+Two workload elements beyond the initial table transfer:
+
+* :class:`ResetStorm` — the paper's ISP_A-Vendor trace held 10,396
+  transfers because "a vendor bug ... triggered frequent BGP session
+  resets" (section II-B).  The storm repeatedly tears a session down
+  and reconnects on a fresh source port, so one capture holds many
+  back-to-back transfers, each its own TCP connection.
+* :class:`ChurnGenerator` — steady-state BGP churn after the transfer:
+  re-announcements and withdraw/announce flaps.  This is what MCT's
+  duplicate rule exists for: the transfer ends where *new* prefixes
+  stop, even though updates keep flowing (and it is the paper's named
+  future work: update bursts beyond the initial transfer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.messages import UpdateMessage, encode_message
+from repro.bgp.speaker import BgpSession
+from repro.bgp.table import Rib, Route, _random_attributes
+from repro.core.units import US_PER_SECOND, seconds
+from repro.netsim.simulator import Simulator
+from repro.tcp.socket import TcpEndpoint
+from repro.workloads.scenarios import COLLECTOR_PORT, MonitoringSetup, RouterHandle
+
+
+@dataclass
+class ResetEvent:
+    """One completed incarnation of the stormy session."""
+
+    port: int
+    connected_at_us: int
+    reset_at_us: int | None
+
+
+class ResetStorm:
+    """Repeatedly resets a router's BGP session, retransferring its table.
+
+    Each incarnation uses a fresh source port (as a real router's TCP
+    stack would), so the capture contains one TCP connection per
+    transfer and T-DAT analyzes each independently.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        setup: MonitoringSetup,
+        handle: RouterHandle,
+        reset_interval_us: int,
+        resets: int,
+    ) -> None:
+        if resets < 0:
+            raise ValueError(f"negative reset count {resets}")
+        self.sim = sim
+        self.setup = setup
+        self.handle = handle
+        self.reset_interval_us = reset_interval_us
+        self.remaining = resets
+        self.events: list[ResetEvent] = []
+        self._current_port = handle.endpoint.local_port
+        self._current_session = handle.session
+        self.events.append(
+            ResetEvent(port=self._current_port, connected_at_us=sim.now,
+                       reset_at_us=None)
+        )
+        sim.schedule(reset_interval_us, self._reset)
+
+    @property
+    def incarnations(self) -> int:
+        """How many connections the storm has produced so far."""
+        return len(self.events)
+
+    def _reset(self) -> None:
+        if self.remaining <= 0:
+            return
+        self.remaining -= 1
+        now = self.sim.now
+        self.events[-1].reset_at_us = now
+        # Tear down the current incarnation (the "vendor bug" reset).
+        self._current_session.shutdown(notify=False)
+        # Bring up the next one on a fresh source port.
+        self._current_port += 1
+        params = self.handle.params
+        collector_endpoint = TcpEndpoint(
+            self.sim,
+            self.setup.collector_host,
+            COLLECTOR_PORT,
+            params.ip,
+            self._current_port,
+            config=self.setup.collector_tcp,
+        )
+        collector_endpoint.listen()
+        self.setup.collector.add_session(
+            collector_endpoint, peer_as=params.local_as, peer_ip=params.ip
+        )
+        router_endpoint = TcpEndpoint(
+            self.sim,
+            self.handle.host,
+            self._current_port,
+            self.setup.collector_host.ip,
+            COLLECTOR_PORT,
+            config=params.tcp,
+        )
+        session = BgpSession(
+            self.sim,
+            router_endpoint,
+            local_as=params.local_as,
+            bgp_id=params.ip,
+            hold_time_s=params.hold_time_s,
+            rib=params.table,
+            sender_model=None,  # a fresh ImmediateSender per incarnation
+            on_established=lambda s: s.announce_table(),
+        )
+        self._current_session = session
+        self.events.append(
+            ResetEvent(port=self._current_port, connected_at_us=now,
+                       reset_at_us=None)
+        )
+        router_endpoint.connect()
+        if self.remaining > 0:
+            self.sim.schedule(self.reset_interval_us, self._reset)
+
+
+class ChurnGenerator:
+    """Steady-state BGP churn on an established session.
+
+    Every tick (exponentially distributed with mean ``1/rate``), either
+    re-announce an existing prefix with fresh attributes or flap it
+    (withdraw then announce).  The announced prefixes all pre-exist in
+    the table, so MCT's duplicate rule correctly refuses to extend the
+    transfer into the churn.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        session: BgpSession,
+        table: Rib,
+        rate_per_s: float,
+        rng,
+        flap_fraction: float = 0.3,
+        start_after_us: int = 0,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"non-positive churn rate {rate_per_s}")
+        self.sim = sim
+        self.session = session
+        self.table = table
+        self.rate_per_s = rate_per_s
+        self.rng = rng
+        self.flap_fraction = flap_fraction
+        self.updates_sent = 0
+        self.withdrawals_sent = 0
+        self._prefixes = table.prefixes()
+        sim.schedule(start_after_us + self._next_delay(), self._tick)
+
+    def _next_delay(self) -> int:
+        return max(1, round(self.rng.expovariate(self.rate_per_s) * US_PER_SECOND))
+
+    def _tick(self) -> None:
+        if self.session.endpoint.state.value != "established":
+            return  # session gone; churn dies with it
+        prefix = self.rng.choice(self._prefixes)
+        attributes = _random_attributes(self.rng, "10.0.0.1", 3000)
+        if self.rng.random() < self.flap_fraction:
+            self.session.send_message(UpdateMessage(withdrawn=(prefix,)))
+            self.withdrawals_sent += 1
+        self.session.send_message(
+            UpdateMessage(announced=(prefix,), attributes=attributes)
+        )
+        self.updates_sent += 1
+        self.sim.schedule(self._next_delay(), self._tick)

@@ -1,0 +1,216 @@
+"""Unit tests for BGP message and attribute codecs."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.attributes import (
+    AS_SEQUENCE,
+    AS_SET,
+    ORIGIN_INCOMPLETE,
+    AsPathSegment,
+    PathAttributes,
+)
+from repro.bgp.messages import (
+    MARKER,
+    BgpError,
+    KeepaliveMessage,
+    MessageDecoder,
+    NotificationMessage,
+    OpenMessage,
+    Prefix,
+    UpdateMessage,
+    decode_message,
+    decode_prefixes,
+    encode_message,
+)
+
+
+class TestPrefix:
+    def test_str_and_parse(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert str(p) == "192.0.2.0/24"
+        assert p.length == 24
+
+    def test_invalid_length(self):
+        with pytest.raises(BgpError):
+            Prefix("10.0.0.0", 33)
+
+    def test_encode_minimal_bytes(self):
+        assert Prefix("10.0.0.0", 8).encode() == b"\x08\x0a"
+        assert Prefix("192.0.2.0", 24).encode() == b"\x18\xc0\x00\x02"
+        assert Prefix("0.0.0.0", 0).encode() == b"\x00"
+
+    def test_decode_prefixes_roundtrip(self):
+        prefixes = [
+            Prefix("10.0.0.0", 8),
+            Prefix("172.16.0.0", 12),
+            Prefix("192.0.2.128", 25),
+        ]
+        blob = b"".join(p.encode() for p in prefixes)
+        assert decode_prefixes(blob) == prefixes
+
+    def test_decode_truncated(self):
+        with pytest.raises(BgpError):
+            decode_prefixes(b"\x18\xc0")
+
+    def test_decode_bad_length(self):
+        with pytest.raises(BgpError):
+            decode_prefixes(b"\x40\x01")
+
+
+class TestPathAttributes:
+    def test_roundtrip_basic(self):
+        attrs = PathAttributes.from_path([65001, 65002, 3356], "10.1.2.3")
+        decoded = PathAttributes.decode(attrs.encode())
+        assert decoded.path_asns() == (65001, 65002, 3356)
+        assert decoded.next_hop == "10.1.2.3"
+
+    def test_roundtrip_all_fields(self):
+        attrs = PathAttributes.from_path(
+            [1, 2], "10.0.0.1", origin=ORIGIN_INCOMPLETE, med=100, local_pref=200
+        )
+        decoded = PathAttributes.decode(attrs.encode())
+        assert decoded == attrs
+
+    def test_as_set_segment(self):
+        attrs = PathAttributes(
+            as_path=(
+                AsPathSegment(AS_SEQUENCE, (1, 2)),
+                AsPathSegment(AS_SET, (3, 4, 5)),
+            ),
+            next_hop="10.0.0.1",
+        )
+        decoded = PathAttributes.decode(attrs.encode())
+        assert decoded.as_path == attrs.as_path
+
+    def test_empty_as_path(self):
+        attrs = PathAttributes.from_path([], "10.0.0.1")
+        decoded = PathAttributes.decode(attrs.encode())
+        assert decoded.path_asns() == ()
+
+    def test_truncated_attribute(self):
+        from repro.bgp.attributes import AttributeError_
+
+        attrs = PathAttributes.from_path([1], "10.0.0.1")
+        with pytest.raises(AttributeError_):
+            PathAttributes.decode(attrs.encode()[:-2])
+
+    @given(st.lists(st.integers(min_value=1, max_value=65535), max_size=20))
+    def test_as_path_roundtrip_property(self, asns):
+        attrs = PathAttributes.from_path(asns, "192.0.2.1")
+        assert PathAttributes.decode(attrs.encode()).path_asns() == tuple(asns)
+
+
+class TestMessages:
+    def test_open_roundtrip(self):
+        msg = OpenMessage(my_as=65000, hold_time_s=180, bgp_id="10.0.0.1")
+        decoded = decode_message(encode_message(msg))
+        assert decoded == msg
+
+    def test_keepalive_roundtrip(self):
+        raw = encode_message(KeepaliveMessage())
+        assert len(raw) == 19
+        assert decode_message(raw) == KeepaliveMessage()
+
+    def test_notification_roundtrip(self):
+        msg = NotificationMessage(error_code=4, error_subcode=0, data=b"why")
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_update_roundtrip(self):
+        msg = UpdateMessage(
+            announced=(Prefix("10.0.0.0", 8), Prefix("192.0.2.0", 24)),
+            attributes=PathAttributes.from_path([65001], "10.0.0.1"),
+            withdrawn=(Prefix("172.16.0.0", 12),),
+        )
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_withdraw_only_update(self):
+        msg = UpdateMessage(withdrawn=(Prefix("10.0.0.0", 8),))
+        decoded = decode_message(encode_message(msg))
+        assert decoded.attributes is None
+        assert decoded.withdrawn == msg.withdrawn
+
+    def test_bad_marker_rejected(self):
+        raw = bytearray(encode_message(KeepaliveMessage()))
+        raw[0] = 0
+        with pytest.raises(BgpError):
+            decode_message(bytes(raw))
+
+    def test_trailing_bytes_rejected(self):
+        raw = encode_message(KeepaliveMessage()) + b"\x00"
+        with pytest.raises(BgpError):
+            decode_message(raw)
+
+    def test_oversized_message_rejected(self):
+        msg = UpdateMessage(
+            announced=tuple(
+                Prefix(f"10.{i >> 8}.{i & 255}.0", 24) for i in range(1500)
+            ),
+            attributes=PathAttributes.from_path([1], "10.0.0.1"),
+        )
+        with pytest.raises(BgpError):
+            encode_message(msg)
+
+    def test_unknown_type_rejected(self):
+        raw = bytearray(encode_message(KeepaliveMessage()))
+        raw[18] = 9
+        with pytest.raises(BgpError):
+            decode_message(bytes(raw))
+
+
+class TestMessageDecoder:
+    def messages(self):
+        return [
+            OpenMessage(my_as=1, hold_time_s=180, bgp_id="1.1.1.1"),
+            KeepaliveMessage(),
+            UpdateMessage(
+                announced=(Prefix("10.0.0.0", 8),),
+                attributes=PathAttributes.from_path([1, 2], "10.0.0.1"),
+            ),
+            KeepaliveMessage(),
+        ]
+
+    def test_whole_stream_at_once(self):
+        stream = b"".join(encode_message(m) for m in self.messages())
+        decoder = MessageDecoder()
+        assert decoder.feed(stream) == self.messages()
+        assert decoder.pending_bytes == 0
+
+    def test_byte_by_byte(self):
+        stream = b"".join(encode_message(m) for m in self.messages())
+        decoder = MessageDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        assert out == self.messages()
+
+    def test_random_chunking(self):
+        stream = b"".join(encode_message(m) for m in self.messages())
+        rng = random.Random(7)
+        decoder = MessageDecoder()
+        out = []
+        i = 0
+        while i < len(stream):
+            n = rng.randint(1, 40)
+            out.extend(decoder.feed(stream[i : i + n]))
+            i += n
+        assert out == self.messages()
+        assert decoder.messages_decoded == 4
+
+    def test_desync_detected(self):
+        decoder = MessageDecoder()
+        with pytest.raises(BgpError):
+            decoder.feed(b"\x00" * 19)
+
+    def test_partial_message_pends(self):
+        raw = encode_message(KeepaliveMessage())
+        decoder = MessageDecoder()
+        assert decoder.feed(raw[:10]) == []
+        assert decoder.pending_bytes == 10
+        assert decoder.feed(raw[10:]) == [KeepaliveMessage()]
+
+    def test_marker_constant(self):
+        assert MARKER == b"\xff" * 16

@@ -1,0 +1,42 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+Each example executes in a subprocess with the repo's interpreter; the
+slowest (survey, tcp_forensics) are excluded to keep the suite quick —
+they exercise the same code paths as the campaign and application
+tests.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "diagnose_slow_transfer.py",
+    "peer_group_blocking.py",
+    "pcap_workflow.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_examples_inventory():
+    """Every example file is either smoke-tested or known-slow."""
+    known_slow = {"survey_delay_factors.py", "tcp_forensics.py"}
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= present
+    assert present - set(FAST_EXAMPLES) <= known_slow

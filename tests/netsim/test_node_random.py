@@ -1,0 +1,113 @@
+"""Unit tests for Host dispatch and seeded random streams."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet, tcp_wire_length
+from repro.netsim.random import RandomStreams
+
+
+@dataclass
+class FakeSegment:
+    src_port: int
+    dst_port: int
+
+
+def make_packet(src, dst, sport, dport):
+    return Packet(
+        src=src, dst=dst, payload=FakeSegment(sport, dport), wire_length=54
+    )
+
+
+class TestHost:
+    def test_flow_dispatch(self):
+        host = Host("rcv", "10.0.0.2")
+        got = []
+        host.register_flow(("10.0.0.1", 179, "10.0.0.2", 40000), got.append)
+        pkt = make_packet("10.0.0.1", "10.0.0.2", 179, 40000)
+        host.deliver(pkt)
+        assert got == [pkt]
+
+    def test_listener_fallback(self):
+        host = Host("rcv", "10.0.0.2")
+        got = []
+        host.listen(179, got.append)
+        pkt = make_packet("10.0.0.1", "10.0.0.2", 50000, 179)
+        host.deliver(pkt)
+        assert got == [pkt]
+
+    def test_unmatched_counted(self):
+        host = Host("rcv", "10.0.0.2")
+        host.deliver(make_packet("10.0.0.1", "10.0.0.2", 1, 2))
+        assert host.unmatched_packets == 1
+
+    def test_unregister_flow(self):
+        host = Host("rcv", "10.0.0.2")
+        key = ("10.0.0.1", 179, "10.0.0.2", 40000)
+        host.register_flow(key, lambda p: None)
+        host.unregister_flow(key)
+        host.unregister_flow(key)  # idempotent
+        host.deliver(make_packet("10.0.0.1", "10.0.0.2", 179, 40000))
+        assert host.unmatched_packets == 1
+
+    def test_send_uses_route(self):
+        host = Host("snd", "10.0.0.1")
+        sent = []
+        host.add_route("10.0.0.2", lambda p: sent.append(p) or True)
+        pkt = make_packet("10.0.0.1", "10.0.0.2", 1, 2)
+        assert host.send(pkt)
+        assert sent == [pkt]
+
+    def test_send_without_route_raises(self):
+        host = Host("snd", "10.0.0.1")
+        with pytest.raises(LookupError):
+            host.send(make_packet("10.0.0.1", "10.0.0.2", 1, 2))
+
+
+class TestPacket:
+    def test_wire_length_helper(self):
+        assert tcp_wire_length(0) == 54
+        assert tcp_wire_length(1400) == 1454
+        assert tcp_wire_length(100, tcp_options_len=12) == 166
+
+    def test_nonpositive_wire_length_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src="a", dst="b", payload=None, wire_length=0)
+
+    def test_packet_ids_unique(self):
+        a = Packet(src="a", dst="b", payload=None, wire_length=1)
+        b = Packet(src="a", dst="b", payload=None, wire_length=1)
+        assert a.packet_id != b.packet_id
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(1).stream("loss")
+        b = RandomStreams(1).stream("loss")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(1)
+        loss = streams.stream("loss")
+        first_draws = [loss.random() for _ in range(3)]
+        # Creating and using another stream must not perturb "loss".
+        streams2 = RandomStreams(1)
+        streams2.stream("jitter").random()
+        loss2 = streams2.stream("loss")
+        assert [loss2.random() for _ in range(3)] == first_draws
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a").random() != streams.stream("b").random()
+
+    def test_stream_cached(self):
+        streams = RandomStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_fork_namespaces(self):
+        parent = RandomStreams(1)
+        child_a = parent.fork("campaign-a").stream("loss")
+        child_b = parent.fork("campaign-b").stream("loss")
+        assert child_a.random() != child_b.random()

@@ -1,0 +1,168 @@
+"""Unit tests for the discrete-event simulator and timers."""
+
+import pytest
+
+from repro.netsim.simulator import PeriodicTimer, Simulator, Timer
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time_us=500).now == 500
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(30, log.append, "c")
+        sim.schedule(10, log.append, "a")
+        sim.schedule(20, log.append, "b")
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 30
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for label in "abc":
+            sim.schedule(10, log.append, label)
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_at(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(100, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [100]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start_time_us=100)
+        with pytest.raises(ValueError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, 1)
+        sim.schedule(100, fired.append, 2)
+        sim.run(until_us=50)
+        assert fired == [1]
+        assert sim.now == 50
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n):
+            log.append((sim.now, n))
+            if n < 3:
+                sim.schedule(5, chain, n + 1)
+
+        sim.schedule(0, chain, 0)
+        sim.run()
+        assert log == [(0, 0), (5, 1), (10, 2), (15, 3)]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1, forever)
+
+        sim.schedule(1, forever)
+        executed = sim.run(max_events=50)
+        assert executed == 50
+
+    def test_pending_counts_uncancelled(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        event = sim.schedule(20, lambda: None)
+        event.cancel()
+        assert sim.pending() == 1
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        sim.run()
+        assert fired == [100]
+        assert not timer.armed
+
+    def test_restart_resets_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        sim.schedule(50, timer.restart, 100)
+        sim.run()
+        assert fired == [150]
+
+    def test_stop(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_restart_after_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(10)
+        sim.run()
+        timer.start(10)
+        sim.run()
+        assert fired == [10, 20]
+
+
+class TestPeriodicTimer:
+    def test_ticks_at_interval(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 100, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until_us=350)
+        timer.stop()
+        assert ticks == [100, 200, 300]
+
+    def test_initial_delay(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 100, lambda: ticks.append(sim.now))
+        timer.start(initial_delay_us=0)
+        sim.run(until_us=250)
+        timer.stop()
+        assert ticks == [0, 100, 200]
+
+    def test_stop_halts_ticks(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 10, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.schedule(35, timer.stop)
+        sim.run(until_us=100)
+        assert ticks == [10, 20, 30]
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTimer(Simulator(), 0, lambda: None)

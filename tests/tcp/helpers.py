@@ -1,0 +1,44 @@
+"""Shared topology builder for TCP tests."""
+
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.simulator import Simulator
+
+
+class Net:
+    """Two hosts joined by a duplex pair of links."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 80_000_000,
+        delay_us: int = 5_000,
+        loss_up=None,
+        loss_down=None,
+        buffer_packets: int = 1000,
+    ) -> None:
+        self.sim = sim
+        self.a = Host("a", "10.0.0.1")
+        self.b = Host("b", "10.0.0.2")
+        self.link_ab = Link(
+            sim, "a->b", bandwidth_bps, delay_us,
+            deliver=self.b.deliver, loss_model=loss_up,
+            buffer_packets=buffer_packets,
+        )
+        self.link_ba = Link(
+            sim, "b->a", bandwidth_bps, delay_us,
+            deliver=self.a.deliver, loss_model=loss_down,
+            buffer_packets=buffer_packets,
+        )
+        self.a.add_route("10.0.0.2", self.link_ab.send)
+        self.b.add_route("10.0.0.1", self.link_ba.send)
+
+
+def collect_all(endpoint, sink: bytearray):
+    """An on_data callback that drains everything into ``sink``."""
+
+    def _on_data(ep):
+        sink.extend(ep.read())
+
+    endpoint.on_data = _on_data
+    return _on_data

@@ -1,0 +1,131 @@
+"""Unit tests for Tahoe / Reno / NewReno congestion control."""
+
+import pytest
+
+from repro.tcp.congestion import NewReno, Reno, Tahoe, make_congestion_control
+
+MSS = 1000
+
+
+class TestFactory:
+    def test_known_flavors(self):
+        assert isinstance(make_congestion_control("tahoe", MSS), Tahoe)
+        assert isinstance(make_congestion_control("reno", MSS), Reno)
+        assert isinstance(make_congestion_control("newreno", MSS), NewReno)
+
+    def test_unknown_flavor(self):
+        with pytest.raises(ValueError):
+            make_congestion_control("cubic", MSS)
+
+    def test_bad_mss(self):
+        with pytest.raises(ValueError):
+            Reno(0)
+
+    def test_initial_window(self):
+        cc = Reno(MSS, initial_cwnd_mss=4, initial_ssthresh_bytes=32000)
+        assert cc.cwnd == 4 * MSS
+        assert cc.ssthresh == 32000
+
+
+class TestSlowStartAndAvoidance:
+    def test_slow_start_doubles_per_rtt(self):
+        cc = Reno(MSS, initial_cwnd_mss=2, initial_ssthresh_bytes=10**9)
+        # ACK a full window's worth: cwnd should double.
+        for _ in range(2):
+            cc.on_new_ack(MSS)
+        assert cc.cwnd == 4 * MSS
+
+    def test_congestion_avoidance_linear(self):
+        cc = Reno(MSS, initial_cwnd_mss=10, initial_ssthresh_bytes=10 * MSS)
+        # One window of ACKs grows cwnd by about one MSS.
+        for _ in range(10):
+            cc.on_new_ack(MSS)
+        assert 10 * MSS < cc.cwnd <= 11 * MSS
+
+    def test_timeout_collapses_to_one_mss(self):
+        cc = Reno(MSS, initial_cwnd_mss=10)
+        cc.on_timeout(flight_size=10 * MSS)
+        assert cc.cwnd == MSS
+        assert cc.ssthresh == 5 * MSS
+
+    def test_timeout_ssthresh_floor(self):
+        cc = Reno(MSS)
+        cc.on_timeout(flight_size=MSS)
+        assert cc.ssthresh == 2 * MSS
+
+
+class TestTahoe:
+    def test_triple_dupack_collapses(self):
+        cc = Tahoe(MSS, initial_cwnd_mss=8)
+        should_retransmit = cc.on_triple_dupack(8 * MSS, recovery_point=8000)
+        assert should_retransmit
+        assert cc.cwnd == MSS
+        assert cc.ssthresh == 4 * MSS
+        assert not cc.in_fast_recovery
+
+    def test_no_inflation(self):
+        cc = Tahoe(MSS)
+        cc.on_triple_dupack(4 * MSS, 4000)
+        before = cc.cwnd
+        cc.on_dupack_in_recovery()
+        assert cc.cwnd == before
+
+
+class TestReno:
+    def test_fast_recovery_halves(self):
+        cc = Reno(MSS, initial_cwnd_mss=8)
+        assert cc.on_triple_dupack(8 * MSS, recovery_point=8000)
+        assert cc.in_fast_recovery
+        assert cc.ssthresh == 4 * MSS
+        assert cc.cwnd == 4 * MSS + 3 * MSS
+
+    def test_dupack_inflation(self):
+        cc = Reno(MSS, initial_cwnd_mss=8)
+        cc.on_triple_dupack(8 * MSS, 8000)
+        before = cc.cwnd
+        cc.on_dupack_in_recovery()
+        assert cc.cwnd == before + MSS
+
+    def test_exit_on_first_new_ack(self):
+        cc = Reno(MSS, initial_cwnd_mss=8)
+        cc.on_triple_dupack(8 * MSS, 8000)
+        assert cc.on_recovery_ack(2000) == "exit"
+        assert not cc.in_fast_recovery
+        assert cc.cwnd == cc.ssthresh
+
+    def test_second_triple_dupack_ignored_in_recovery(self):
+        cc = Reno(MSS, initial_cwnd_mss=8)
+        assert cc.on_triple_dupack(8 * MSS, 8000)
+        assert not cc.on_triple_dupack(8 * MSS, 8000)
+
+    def test_recovery_ack_when_not_in_recovery(self):
+        assert Reno(MSS).on_recovery_ack(100) == "ignore"
+
+
+class TestNewReno:
+    def test_partial_ack_stays_in_recovery(self):
+        cc = NewReno(MSS, initial_cwnd_mss=8)
+        cc.on_triple_dupack(8 * MSS, recovery_point=8000)
+        assert cc.on_recovery_ack(4000) == "partial"
+        assert cc.in_fast_recovery
+
+    def test_full_ack_exits(self):
+        cc = NewReno(MSS, initial_cwnd_mss=8)
+        cc.on_triple_dupack(8 * MSS, recovery_point=8000)
+        assert cc.on_recovery_ack(8000) == "exit"
+        assert not cc.in_fast_recovery
+        assert cc.cwnd == cc.ssthresh
+
+    def test_partial_ack_deflates(self):
+        cc = NewReno(MSS, initial_cwnd_mss=16)
+        cc.on_triple_dupack(16 * MSS, recovery_point=16000)
+        before = cc.cwnd
+        cc.on_recovery_ack(4000)
+        assert cc.cwnd == before - MSS
+
+    def test_no_growth_during_recovery(self):
+        cc = NewReno(MSS, initial_cwnd_mss=8)
+        cc.on_triple_dupack(8 * MSS, 8000)
+        before = cc.cwnd
+        cc.on_new_ack(MSS)
+        assert cc.cwnd == before

@@ -1,0 +1,109 @@
+"""Property-based tests: TCP reassembly integrity under adversity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.simulator import Simulator
+from repro.tcp.options import TcpConfig
+from repro.tcp.receiver import RecvHalf
+
+
+def make_half(buffer_bytes=1 << 20):
+    sim = Simulator()
+    config = TcpConfig(delayed_ack=False, recv_buffer_bytes=buffer_bytes)
+    return RecvHalf(sim, config, send_ack=lambda: None)
+
+
+@st.composite
+def segmented_stream(draw):
+    """A byte stream cut into segments at random boundaries."""
+    data = draw(st.binary(min_size=1, max_size=2000))
+    cuts = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=max(len(data) - 1, 1)),
+            max_size=10,
+        )
+    )
+    boundaries = sorted({0, len(data), *[c for c in cuts if c < len(data)]})
+    segments = [
+        (start, data[start:end])
+        for start, end in zip(boundaries, boundaries[1:])
+    ]
+    return data, segments
+
+
+@given(segmented_stream(), st.randoms(use_true_random=False))
+def test_reassembly_under_reordering(stream, rng):
+    data, segments = stream
+    half = make_half()
+    shuffled = list(segments)
+    rng.shuffle(shuffled)
+    for seq, payload in shuffled:
+        half.on_segment(seq, payload)
+    assert half.read() == data
+    assert half.rcv_nxt == len(data)
+
+
+@given(segmented_stream(), st.randoms(use_true_random=False))
+def test_reassembly_under_duplication(stream, rng):
+    data, segments = stream
+    half = make_half()
+    doubled = segments + [rng.choice(segments) for _ in range(3)]
+    rng.shuffle(doubled)
+    for seq, payload in doubled:
+        half.on_segment(seq, payload)
+    assert half.read() == data
+
+
+@given(segmented_stream())
+def test_reassembly_with_overlapping_resegmentation(stream):
+    data, segments = stream
+    half = make_half()
+    # Deliver in order, then re-deliver everything as one big segment
+    # (a pathological full-stream retransmission).
+    for seq, payload in segments:
+        half.on_segment(seq, payload)
+    half.on_segment(0, data)
+    assert half.read() == data
+    assert half.rcv_nxt == len(data)
+
+
+@given(segmented_stream(), st.randoms(use_true_random=False))
+def test_sack_blocks_are_exactly_the_stash(stream, rng):
+    data, segments = stream
+    if len(segments) < 2:
+        return
+    half = make_half()
+    # Deliver everything except the first segment.
+    for seq, payload in segments[1:]:
+        half.on_segment(seq, payload)
+    blocks = half.sack_blocks(max_blocks=64)
+    covered = set()
+    for left, right in blocks:
+        covered.update(range(left, right))
+    expected = set(range(segments[1][0], len(data)))
+    assert covered == expected
+    # Window accounting includes the stash (capped at the 16-bit field).
+    free = half.config.recv_buffer_bytes - len(expected)
+    assert half.advertised_window == min(free, 65535)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=150),
+            st.integers(min_value=0, max_value=150),
+        ).map(lambda t: (min(t), max(t))),
+        max_size=8,
+    ),
+    st.integers(min_value=0, max_value=50),
+)
+def test_dilate_superset_and_size(spans, margin):
+    from repro.core.timeranges import TimeRangeSet
+
+    base = TimeRangeSet(spans)
+    dilated = base.dilate(margin)
+    # Dilation only adds coverage...
+    assert base.difference(dilated).size() == 0
+    # ...and adds at most 2*margin per original (coalesced) range.
+    assert dilated.size() <= base.size() + 2 * margin * max(len(base), 1)

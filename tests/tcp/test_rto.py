@@ -1,0 +1,92 @@
+"""Unit tests for the RTT estimator and RTO computation."""
+
+import pytest
+
+from repro.core.units import seconds
+from repro.tcp.rto import RttEstimator
+
+
+class TestRttEstimator:
+    def test_initial_rto(self):
+        est = RttEstimator(initial_rto_us=seconds(1))
+        assert est.rto_us == seconds(1)
+
+    def test_first_sample_sets_srtt(self):
+        est = RttEstimator()
+        est.on_rtt_sample(100_000)
+        assert est.srtt_us == 100_000
+        assert est.rttvar_us == 50_000
+        # RTO = SRTT + 4*RTTVAR = 100ms + 200ms = 300ms.
+        assert est.rto_us == 300_000
+
+    def test_smoothing_converges(self):
+        est = RttEstimator(min_rto_us=1_000)
+        for _ in range(100):
+            est.on_rtt_sample(50_000)
+        assert abs(est.srtt_us - 50_000) < 1
+        # Variance decays; RTO approaches SRTT + max(4*var, 1ms).
+        assert est.rto_us < 60_000
+
+    def test_rto_floor(self):
+        est = RttEstimator(min_rto_us=seconds(0.2))
+        for _ in range(50):
+            est.on_rtt_sample(1_000)
+        assert est.rto_us >= seconds(0.2)
+
+    def test_rto_ceiling(self):
+        est = RttEstimator(max_rto_us=seconds(60))
+        est.on_rtt_sample(seconds(30))
+        for _ in range(10):
+            est.on_timeout()
+        assert est.rto_us == seconds(60)
+
+    def test_backoff_doubles(self):
+        est = RttEstimator(min_rto_us=1_000, max_rto_us=seconds(120))
+        est.on_rtt_sample(100_000)
+        base = est.rto_us
+        est.on_timeout()
+        assert est.rto_us == 2 * base
+        est.on_timeout()
+        assert est.rto_us == 4 * base
+
+    def test_aggressive_backoff_factor(self):
+        est = RttEstimator(
+            min_rto_us=1_000, max_rto_us=seconds(120), backoff_factor=4.0
+        )
+        est.on_rtt_sample(100_000)
+        base = est.rto_us
+        est.on_timeout()
+        est.on_timeout()
+        assert est.rto_us == 16 * base
+
+    def test_sample_resets_backoff(self):
+        est = RttEstimator(min_rto_us=1_000)
+        est.on_rtt_sample(100_000)
+        est.on_timeout()
+        est.on_timeout()
+        est.on_rtt_sample(100_000)
+        assert est.backoff_exponent == 0
+
+    def test_reset_backoff(self):
+        est = RttEstimator()
+        est.on_timeout()
+        est.reset_backoff()
+        assert est.backoff_exponent == 0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().on_rtt_sample(-1)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto_us=0)
+        with pytest.raises(ValueError):
+            RttEstimator(min_rto_us=100, max_rto_us=50)
+        with pytest.raises(ValueError):
+            RttEstimator(backoff_factor=0.5)
+
+    def test_sample_counter(self):
+        est = RttEstimator()
+        est.on_rtt_sample(1000)
+        est.on_rtt_sample(1000)
+        assert est.samples == 2

@@ -1,0 +1,139 @@
+"""Tests for prefix-preserving trace anonymization."""
+
+import io
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.tdat import analyze_pcap
+from repro.bgp.table import generate_table
+from repro.core.units import seconds
+from repro.netsim.simulator import Simulator
+from repro.tools.anonymize import (
+    PrefixPreservingAnonymizer,
+    anonymize_pcap,
+    anonymize_record,
+)
+from repro.wire import frames
+from repro.wire.pcap import read_pcap, records_to_bytes
+from repro.workloads.scenarios import MonitoringSetup, RouterParams
+
+ips = st.tuples(*[st.integers(0, 255)] * 4).map(
+    lambda t: ".".join(map(str, t))
+)
+
+
+def common_prefix_len(a: str, b: str) -> int:
+    from repro.wire.ip import ip_to_bytes
+
+    x = int.from_bytes(ip_to_bytes(a), "big")
+    y = int.from_bytes(ip_to_bytes(b), "big")
+    for i in range(32):
+        if (x >> (31 - i)) & 1 != (y >> (31 - i)) & 1:
+            return i
+    return 32
+
+
+class TestAnonymizer:
+    def test_deterministic_per_key(self):
+        a = PrefixPreservingAnonymizer(b"k1")
+        b = PrefixPreservingAnonymizer(b"k1")
+        assert a.anonymize_ip("10.1.2.3") == b.anonymize_ip("10.1.2.3")
+
+    def test_different_keys_differ(self):
+        a = PrefixPreservingAnonymizer(b"k1")
+        b = PrefixPreservingAnonymizer(b"k2")
+        assert a.anonymize_ip("10.1.2.3") != b.anonymize_ip("10.1.2.3")
+
+    def test_identity_is_not_preserved(self):
+        a = PrefixPreservingAnonymizer(b"secret")
+        assert a.anonymize_ip("192.0.2.1") != "192.0.2.1"
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixPreservingAnonymizer(b"")
+
+    @given(ips, ips)
+    def test_prefix_preservation_property(self, ip_a, ip_b):
+        anon = PrefixPreservingAnonymizer(b"prop-key")
+        before = common_prefix_len(ip_a, ip_b)
+        after = common_prefix_len(
+            anon.anonymize_ip(ip_a), anon.anonymize_ip(ip_b)
+        )
+        assert before == after
+
+    @given(ips)
+    def test_mapping_is_injective_on_samples(self, address):
+        anon = PrefixPreservingAnonymizer(b"inj-key")
+        out = anon.anonymize_ip(address)
+        # Full prefix preservation implies a bijection; spot-check that
+        # re-anonymizing yields the cached identical result.
+        assert anon.anonymize_ip(address) == out
+
+
+@pytest.fixture(scope="module")
+def capture():
+    sim = Simulator()
+    setup = MonitoringSetup(sim)
+    table = generate_table(3_000, random.Random(61))
+    setup.add_router(RouterParams(name="r1", ip="10.1.0.1", table=table))
+    setup.start()
+    sim.run(until_us=seconds(60))
+    return setup.sniffer.sorted_records()
+
+
+class TestPcapAnonymization:
+    def test_addresses_rewritten_consistently(self, capture):
+        src = io.BytesIO(records_to_bytes(capture))
+        dst = io.BytesIO()
+        count = anonymize_pcap(src, dst, key=b"share-key")
+        assert count == len(capture)
+        dst.seek(0)
+        records = read_pcap(dst)
+        addresses = set()
+        for record in records:
+            parsed = frames.parse_frame(record.data, verify_checksums=True)
+            addresses.update((parsed.src_ip, parsed.dst_ip))
+        assert "10.1.0.1" not in addresses
+        assert "10.255.0.1" not in addresses
+        assert len(addresses) == 2  # one consistent mapping per host
+
+    def test_timing_and_lengths_preserved(self, capture):
+        src = io.BytesIO(records_to_bytes(capture))
+        dst = io.BytesIO()
+        anonymize_pcap(src, dst, key=b"share-key", strip_payload=True)
+        dst.seek(0)
+        records = read_pcap(dst)
+        for before, after in zip(capture, records):
+            assert before.timestamp_us == after.timestamp_us
+            assert len(before.data) == len(after.data)
+
+    def test_payload_stripping_zeroes_content(self, capture):
+        anonymizer = PrefixPreservingAnonymizer(b"zero")
+        data_records = [
+            r for r in capture
+            if frames.parse_frame(r.data).tcp.payload
+        ]
+        record = anonymize_record(data_records[0], anonymizer, strip_payload=True)
+        parsed = frames.parse_frame(record.data, verify_checksums=True)
+        assert parsed.tcp.payload == bytes(len(parsed.tcp.payload))
+
+    def test_analysis_survives_anonymization(self, capture):
+        """Factor group ratios match on the stripped, anonymized trace."""
+        original = analyze_pcap(capture, min_data_packets=2)
+        src = io.BytesIO(records_to_bytes(capture))
+        dst = io.BytesIO()
+        anonymize_pcap(src, dst, key=b"a-key", strip_payload=True)
+        dst.seek(0)
+        anonymized = analyze_pcap(read_pcap(dst), min_data_packets=2)
+        (a,) = list(original)
+        (b,) = list(anonymized)
+        for x, y in zip(a.factors.group_vector, b.factors.group_vector):
+            assert x == pytest.approx(y, abs=0.05)
+        assert (
+            a.connection.profile.total_data_bytes
+            == b.connection.profile.total_data_bytes
+        )
+        assert a.connection.profile.rtt_us == b.connection.profile.rtt_us

@@ -1,0 +1,71 @@
+"""Tests for the campaign report generator."""
+
+import pytest
+
+from repro.tools.report import (
+    dataset_summary,
+    detector_findings,
+    duration_statistics,
+    factor_distribution,
+    render_markdown,
+)
+from repro.workloads.campaign import isp_quagga_config, run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(isp_quagga_config(transfers=8))
+
+
+class TestReportPieces:
+    def test_dataset_summary(self, campaign):
+        (row,) = dataset_summary([campaign])
+        assert row["trace"] == "ISP_A-Quagga"
+        assert row["transfers"] == len(campaign.records)
+        assert row["packets"] > 0
+
+    def test_duration_statistics(self, campaign):
+        stats = duration_statistics(campaign)
+        assert stats["count"] == len(campaign.records)
+        assert stats["min_s"] <= stats["median_s"] <= stats["max_s"]
+
+    def test_factor_distribution_accounts_everything(self, campaign):
+        dist = factor_distribution(campaign)
+        classified = sum(
+            1 for r in campaign.records if r.factors.major_groups()
+        )
+        assert dist["unknown"] == len(campaign.records) - classified
+        assert sum(dist["groups"].values()) >= classified
+
+    def test_detector_findings(self, campaign):
+        findings = detector_findings(campaign)
+        assert set(findings) == {
+            "timer_gaps", "consecutive_losses", "zero_ack_bug",
+        }
+        for row in findings.values():
+            assert row["count"] >= 0
+            assert row["avg_delay_s"] >= 0.0
+
+
+class TestMarkdown:
+    def test_render_contains_all_sections(self, campaign):
+        text = render_markdown([campaign])
+        assert "# BGP table-transfer delay survey" in text
+        assert "## Datasets" in text
+        assert "## Transfer durations" in text
+        assert "## Major delay factors" in text
+        assert "## Detected transport problems" in text
+        assert "ISP_A-Quagga" in text
+
+    def test_tables_are_well_formed(self, campaign):
+        text = render_markdown([campaign])
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_empty_campaign_renders(self):
+        from repro.workloads.campaign import CampaignResult
+
+        empty = CampaignResult(name="empty", collector_kind="vendor")
+        text = render_markdown([empty])
+        assert "empty" in text

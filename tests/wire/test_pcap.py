@@ -1,0 +1,167 @@
+"""Unit tests for pcap reading/writing and full-frame composition."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wire import frames, tcpw
+from repro.wire.pcap import (
+    PcapError,
+    PcapReader,
+    PcapRecord,
+    read_pcap,
+    records_to_bytes,
+    write_pcap,
+)
+
+
+def sample_records():
+    return [
+        PcapRecord(timestamp_us=1_000_000, data=b"frame-one"),
+        PcapRecord(timestamp_us=1_000_250, data=b"frame-two-longer"),
+        PcapRecord(timestamp_us=2_500_000, data=b"x" * 100),
+    ]
+
+
+class TestPcapRoundtrip:
+    def test_roundtrip_memory(self):
+        blob = records_to_bytes(sample_records())
+        got = read_pcap(io.BytesIO(blob))
+        assert [(r.timestamp_us, r.data) for r in got] == [
+            (r.timestamp_us, r.data) for r in sample_records()
+        ]
+
+    def test_roundtrip_file(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sample_records())
+        got = read_pcap(path)
+        assert len(got) == 3
+        assert got[0].data == b"frame-one"
+
+    def test_snaplen_truncation(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, [PcapRecord(0, b"y" * 200)], snaplen=64)
+        buffer.seek(0)
+        (record,) = read_pcap(buffer)
+        assert record.captured_length == 64
+        assert record.wire_length == 200
+
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(b"\xd4\xc3\xb2\xa1"))
+
+    def test_truncated_trailing_record_tolerated(self):
+        blob = records_to_bytes(sample_records())
+        got = read_pcap(io.BytesIO(blob[:-5]))
+        assert len(got) == 2
+
+    def test_truncated_record_header_tolerated(self):
+        blob = records_to_bytes(sample_records()[:1])
+        got = read_pcap(io.BytesIO(blob + b"\x01\x02"))
+        assert len(got) == 1
+
+    def test_big_endian_read(self):
+        # Hand-build a big-endian pcap with one record.
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 3, 500, 4, 4) + b"abcd"
+        got = read_pcap(io.BytesIO(header + record))
+        assert got == [PcapRecord(timestamp_us=3_000_500, data=b"abcd", original_length=4)]
+
+    def test_unsupported_version(self):
+        header = struct.pack("<IHHiIII", 0xA1B2C3D4, 1, 0, 0, 0, 65535, 1)
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(header))
+
+    def test_reader_exposes_metadata(self):
+        blob = records_to_bytes([])
+        reader = PcapReader(io.BytesIO(blob))
+        assert reader.linktype == 1
+        assert reader.snaplen == 65535
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**40),
+                st.binary(min_size=1, max_size=300),
+            ),
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, items):
+        records = [PcapRecord(ts, data) for ts, data in items]
+        got = read_pcap(io.BytesIO(records_to_bytes(records)))
+        assert [(r.timestamp_us, r.data) for r in got] == items
+
+
+class TestFrames:
+    def make_tcp(self, **kw):
+        defaults = dict(
+            src_port=179, dst_port=40000, seq=1, ack=2,
+            flags=tcpw.ACK, window=16384, payload=b"update",
+        )
+        defaults.update(kw)
+        return tcpw.TcpHeader(**defaults)
+
+    def test_build_and_parse(self):
+        raw = frames.build_frame("10.1.1.1", "10.2.2.2", self.make_tcp())
+        parsed = frames.parse_frame(raw, verify_checksums=True)
+        assert parsed.src_ip == "10.1.1.1"
+        assert parsed.dst_ip == "10.2.2.2"
+        assert parsed.tcp.payload == b"update"
+        assert parsed.flow == ("10.1.1.1", 179, "10.2.2.2", 40000)
+
+    def test_frame_length_matches_model(self):
+        from repro.netsim.packet import tcp_wire_length
+
+        payload = b"z" * 1400
+        raw = frames.build_frame("10.1.1.1", "10.2.2.2", self.make_tcp(payload=payload))
+        assert len(raw) == tcp_wire_length(len(payload))
+
+    def test_syn_frame_carries_options(self):
+        header = self.make_tcp(flags=tcpw.SYN, payload=b"", mss_option=1460)
+        raw = frames.build_frame("10.1.1.1", "10.2.2.2", header)
+        parsed = frames.parse_frame(raw)
+        assert parsed.tcp.mss_option == 1460
+
+    def test_non_ip_frame_rejected(self):
+        from repro.wire import ethernet
+
+        raw = ethernet.EthernetFrame(
+            b"\x02" * 6, b"\x02" * 6, 0x0806, b"arp"
+        ).encode()
+        with pytest.raises(frames.FrameError):
+            frames.parse_frame(raw)
+
+    def test_non_tcp_packet_rejected(self):
+        from repro.wire import ethernet, ip
+
+        udp_ip = ip.Ipv4Header(
+            src="1.1.1.1", dst="2.2.2.2", payload=b"", protocol=17
+        ).encode()
+        raw = ethernet.EthernetFrame(
+            b"\x02" * 6, b"\x02" * 6, 0x0800, udp_ip
+        ).encode()
+        with pytest.raises(frames.FrameError):
+            frames.parse_frame(raw)
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=65535),
+        st.binary(max_size=1460),
+    )
+    def test_tcp_fields_roundtrip_property(self, seq, ack, window, payload):
+        header = self.make_tcp(seq=seq, ack=ack, window=window, payload=payload)
+        raw = frames.build_frame("10.0.0.1", "10.0.0.2", header)
+        parsed = frames.parse_frame(raw, verify_checksums=True)
+        assert parsed.tcp.seq == seq
+        assert parsed.tcp.ack == ack
+        assert parsed.tcp.window == window
+        assert parsed.tcp.payload == payload

@@ -1,0 +1,130 @@
+"""Tests for the campaign layer (episodes, mixtures, special scenarios)."""
+
+import pytest
+
+from repro.workloads.campaign import (
+    CLEAN,
+    DOWNSTREAM_LOSS,
+    LOADED_COLLECTOR,
+    PATHOLOGIES,
+    TIMER,
+    UPSTREAM_LOSS,
+    ZERO_ACK_BUG,
+    _draw_specs,
+    isp_quagga_config,
+    isp_vendor_config,
+    routeviews_config,
+    run_episode,
+    run_peer_group_episode,
+    run_zero_ack_bug_episode,
+)
+
+
+class TestSpecDrawing:
+    def test_deterministic_for_seed(self):
+        a, _ = _draw_specs(isp_quagga_config(seed=7, transfers=10))
+        b, _ = _draw_specs(isp_quagga_config(seed=7, transfers=10))
+        assert [(s.pathology, s.rtt_ms, s.timer_ms) for s in a] == [
+            (s.pathology, s.rtt_ms, s.timer_ms) for s in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a, _ = _draw_specs(isp_quagga_config(seed=7, transfers=10))
+        b, _ = _draw_specs(isp_quagga_config(seed=8, transfers=10))
+        assert [(s.pathology, s.rtt_ms) for s in a] != [
+            (s.pathology, s.rtt_ms) for s in b
+        ]
+
+    def test_pathologies_from_mixture(self):
+        specs, _ = _draw_specs(isp_vendor_config(transfers=40))
+        assert {s.pathology for s in specs} <= set(PATHOLOGIES)
+        # With 40 draws, several distinct pathologies should appear.
+        assert len({s.pathology for s in specs}) >= 3
+
+    def test_rv_config_differs(self):
+        rv = routeviews_config()
+        assert rv.collector_window == 16384
+        assert rv.rto_backoff_factor > 2.0
+        specs, _ = _draw_specs(rv)
+        assert all(15.0 <= s.rtt_ms <= 120.0 for s in specs)
+
+    def test_timer_specs_use_known_values(self):
+        specs, _ = _draw_specs(isp_quagga_config(transfers=60))
+        timers = {s.timer_ms for s in specs if s.pathology == TIMER}
+        assert timers <= {100, 200}
+
+
+def find_spec(config, pathology):
+    specs, _ = _draw_specs(config)
+    for spec in specs:
+        if spec.pathology == pathology:
+            return spec
+    pytest.skip(f"mixture produced no {pathology} episode")
+
+
+class TestEpisodes:
+    def test_clean_episode_produces_record(self):
+        spec = find_spec(isp_quagga_config(transfers=12), CLEAN)
+        (record,) = run_episode(spec)
+        assert record.pathology == CLEAN
+        assert record.duration_us > 0
+        assert record.data_packets > 10
+        assert record.mct_ended_by in ("stream-end", "duplicates", "idle")
+
+    def test_timer_episode_detected(self):
+        spec = find_spec(isp_quagga_config(transfers=30), TIMER)
+        # Pin the timer parameters so the gap signature is unambiguous
+        # (huge ticks can saturate TCP and legitimately blur the gaps).
+        spec.timer_ms = 200
+        spec.messages_per_tick = 10
+        spec.rtt_ms = 9.0
+        (record,) = run_episode(spec)
+        assert record.timer.detected
+        assert record.true_timer_us is not None
+        # Inferred within 25% of the injected timer.
+        assert record.timer.timer_us == pytest.approx(
+            record.true_timer_us, rel=0.25
+        )
+        assert record.factors.major_factors().get("sender") == "bgp_sender_app"
+
+    def test_downstream_loss_episode_flagged(self):
+        spec = find_spec(isp_vendor_config(transfers=40), DOWNSTREAM_LOSS)
+        (record,) = run_episode(spec)
+        assert record.consecutive.detected or (
+            record.factors.ratios["receiver_local_loss"] > 0
+        )
+
+    def test_loaded_collector_episode(self):
+        spec = find_spec(isp_quagga_config(transfers=30), LOADED_COLLECTOR)
+        records = run_episode(spec)
+        assert len(records) == spec.concurrency
+        # At least one transfer must show receiver-side pressure.
+        assert any(
+            r.factors.group_ratios["receiver"] > 0.2 for r in records
+        )
+
+    def test_zero_ack_bug_episode(self):
+        record = run_zero_ack_bug_episode(isp_quagga_config())
+        assert record is not None
+        assert record.pathology == ZERO_ACK_BUG
+        assert record.zero_bug.detected
+
+
+class TestPeerGroupEpisode:
+    def test_blocking_detected_and_matches_hold_time(self):
+        result = run_peer_group_episode(
+            hold_time_s=20, table_size=8_000, fail_after_s=0.1
+        )
+        assert result.blocked_report.detected
+        # Blocking lasts roughly the hold time (paper: 90-180s scaled).
+        assert 12e6 < result.blocking_duration_us < 28e6
+        assert result.quagga_record is not None
+        assert result.quagga_record.keepalive_pause.detected
+
+    def test_quagga_duration_includes_block(self):
+        result = run_peer_group_episode(
+            hold_time_s=20, table_size=8_000, fail_after_s=0.1
+        )
+        # MCT's idle timeout (30s) exceeds the 20s block, so the
+        # estimated transfer extent spans the blocked period.
+        assert result.quagga_record.duration_s > 15
