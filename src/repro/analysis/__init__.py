@@ -57,8 +57,12 @@ from repro.analysis.tdat import (
     analyze_pcap,
 )
 from repro.analysis.voids import CaptureVoidReport, find_capture_voids
+from repro.core.health import IngestError, IngestIssue, TraceHealth
 
 __all__ = [
+    "IngestError",
+    "IngestIssue",
+    "TraceHealth",
     "AckShiftStats",
     "Connection",
     "ConnectionAnalysis",

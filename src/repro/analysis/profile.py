@@ -21,6 +21,7 @@ from typing import BinaryIO
 
 from repro.bgp.messages import HEADER_LEN as BGP_HEADER_LEN
 from repro.bgp.messages import MARKER as BGP_MARKER
+from repro.core.health import STAGE_FRAME, TraceHealth
 from repro.wire import frames
 from repro.wire.pcap import PcapRecord, read_pcap
 from repro.wire.tcpw import ACK, FIN, RST, SYN
@@ -363,23 +364,46 @@ def infer_sniffer_location(
 class Trace:
     """A parsed capture: connections keyed by canonical 4-tuple."""
 
-    def __init__(self) -> None:
+    def __init__(self, health: TraceHealth | None = None) -> None:
         self.connections: dict[FlowKey, Connection] = {}
         self.skipped_frames = 0
         self.total_records = 0
+        self.health = health if health is not None else TraceHealth()
 
     @classmethod
-    def from_pcap(cls, source: BinaryIO | str | Path | list[PcapRecord]) -> "Trace":
-        """Parse a pcap file (or pre-read records) into connections."""
-        records = source if isinstance(source, list) else read_pcap(source)
-        trace = cls()
+    def from_pcap(
+        cls,
+        source: BinaryIO | str | Path | list[PcapRecord],
+        health: TraceHealth | None = None,
+        tolerant: bool = False,
+    ) -> "Trace":
+        """Parse a pcap file (or pre-read records) into connections.
+
+        With ``tolerant=True`` the pcap layer survives structural
+        damage (see :class:`~repro.wire.pcap.PcapReader`); either way,
+        undecodable frames are skipped and accounted in ``health``.
+        """
+        trace = cls(health=health)
+        if isinstance(source, list):
+            records = source
+            trace.health.records_read += len(records)
+        else:
+            records = read_pcap(source, tolerant=tolerant, health=trace.health)
         for index, record in enumerate(records):
             trace.total_records += 1
             try:
                 parsed = frames.parse_frame(record.data)
-            except (frames.FrameError, ValueError):
+            except (frames.FrameError, ValueError) as exc:
                 trace.skipped_frames += 1
+                trace.health.record(
+                    STAGE_FRAME, "undecodable-frame",
+                    timestamp_us=record.timestamp_us,
+                    bytes_lost=record.captured_length,
+                    detail=str(exc),
+                    benign=True,
+                )
                 continue
+            trace.health.frames_decoded += 1
             packet = TracePacket(
                 index=index,
                 timestamp_us=record.timestamp_us,

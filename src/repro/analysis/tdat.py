@@ -31,6 +31,7 @@ from repro.analysis.series import (
     generate_series,
 )
 from repro.analysis.voids import CaptureVoidReport, find_capture_voids
+from repro.core.health import STAGE_ANALYSIS, TraceHealth
 from repro.wire.pcap import PcapRecord
 
 
@@ -59,6 +60,7 @@ class TdatReport:
 
     analyses: dict[FlowKey, ConnectionAnalysis] = field(default_factory=dict)
     skipped_connections: int = 0
+    health: TraceHealth = field(default_factory=TraceHealth)
 
     def __iter__(self):
         return iter(self.analyses.values())
@@ -110,17 +112,30 @@ def analyze_pcap(
     windows: dict[FlowKey, tuple[int, int]] | None = None,
     config: SeriesConfig | None = None,
     min_data_packets: int = 2,
+    strict: bool = False,
+    health: TraceHealth | None = None,
 ) -> TdatReport:
     """Analyze every TCP connection in a capture.
 
     ``windows`` optionally restricts each connection's analysis period
     (e.g. to the MCT-determined table-transfer extent).  Connections
     with fewer than ``min_data_packets`` data segments are skipped.
+
+    The default discipline is graceful degradation: structurally
+    damaged pcap regions are skipped with resynchronization, frames and
+    connections that defeat their decoders are dropped, and everything
+    lost is accounted in the report's :class:`TraceHealth`.  With
+    ``strict=True`` the original fail-fast behaviour is restored:
+    damaged pcap structure or a crashed per-connection analysis raises
+    instead of degrading (undecodable individual frames remain benign
+    skips — real captures always contain some ARP/LLDP).
     """
     if config is None:
         config = SeriesConfig(sniffer_location=sniffer_location)
-    trace = Trace.from_pcap(source)
-    report = TdatReport()
+    if health is None:
+        health = TraceHealth(strict=strict)
+    trace = Trace.from_pcap(source, health=health, tolerant=not strict)
+    report = TdatReport(health=health)
     for connection in trace:
         if connection.profile is None or (
             connection.profile.total_data_packets < min_data_packets
@@ -128,7 +143,21 @@ def analyze_pcap(
             report.skipped_connections += 1
             continue
         window = windows.get(connection.key) if windows else None
-        report.analyses[connection.key] = analyze_connection(
-            connection, window=window, config=config
-        )
+        try:
+            report.analyses[connection.key] = analyze_connection(
+                connection, window=window, config=config
+            )
+        except Exception as exc:
+            if strict:
+                raise
+            # Contain the blast radius to one connection: record what
+            # was lost and keep analyzing the rest of the capture.
+            report.skipped_connections += 1
+            profile = connection.profile
+            health.record(
+                STAGE_ANALYSIS, "connection-analysis-failed",
+                timestamp_us=profile.start_time_us if profile else None,
+                bytes_lost=profile.total_data_bytes if profile else 0,
+                detail=f"{connection.key}: {type(exc).__name__}: {exc}",
+            )
     return report

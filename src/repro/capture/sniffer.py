@@ -16,6 +16,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import BinaryIO
 
+from repro.core.health import STAGE_CAPTURE, TraceHealth
 from repro.netsim.link import Link
 from repro.netsim.packet import Packet
 from repro.netsim.simulator import Simulator
@@ -39,6 +40,9 @@ class SnifferTap:
         self.drop_windows = sorted(drop_windows or [])
         self.records: list[PcapRecord] = []
         self.dropped_records = 0
+        self.dropped_bytes = 0
+        self._drops_per_window: list[int] = [0] * len(self.drop_windows)
+        self._bytes_per_window: list[int] = [0] * len(self.drop_windows)
         self._ip_id: dict[tuple[str, str], int] = {}
 
     def attach(self, *links: Link) -> "SnifferTap":
@@ -48,8 +52,12 @@ class SnifferTap:
         return self
 
     def _observe(self, packet: Packet, time_us: int) -> None:
-        if self._in_drop_window(time_us):
+        window = self._drop_window_index(time_us)
+        if window is not None:
             self.dropped_records += 1
+            self.dropped_bytes += packet.wire_length
+            self._drops_per_window[window] += 1
+            self._bytes_per_window[window] += packet.wire_length
             return
         if packet.ip_id is not None:
             ident = packet.ip_id
@@ -63,7 +71,36 @@ class SnifferTap:
         self.records.append(PcapRecord(timestamp_us=time_us, data=frame))
 
     def _in_drop_window(self, time_us: int) -> bool:
-        return any(start <= time_us < end for start, end in self.drop_windows)
+        return self._drop_window_index(time_us) is not None
+
+    def _drop_window_index(self, time_us: int) -> int | None:
+        for i, (start, end) in enumerate(self.drop_windows):
+            if start <= time_us < end:
+                return i
+        return None
+
+    def health(self) -> TraceHealth:
+        """Capture-side ledger: one issue per drop window that hit.
+
+        The paper's section II-A capture voids, accounted at the
+        source: downstream ingest can merge this into its own
+        :class:`TraceHealth` so reports distinguish "the sniffer never
+        saw it" from "the file was damaged afterwards".
+        """
+        health = TraceHealth(records_read=len(self.records))
+        for i, (start, end) in enumerate(self.drop_windows):
+            if self._drops_per_window[i] == 0:
+                continue
+            health.record(
+                STAGE_CAPTURE, "sniffer-drop-window",
+                timestamp_us=start,
+                bytes_lost=self._bytes_per_window[i],
+                detail=(
+                    f"[{start}, {end})us: "
+                    f"{self._drops_per_window[i]} frame(s) dropped"
+                ),
+            )
+        return health
 
     @property
     def packet_count(self) -> int:

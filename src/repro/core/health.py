@@ -1,0 +1,174 @@
+"""Trace-ingest health accounting: what the pipeline could not parse.
+
+Real captures are dirty — tcpdump drops packets (paper section II-A),
+sniffer placement loses frames, and long-running ISP traces arrive
+truncated or bit-mangled.  Rather than hard-raising or silently
+skipping, every ingest stage (pcap record framing, Ethernet/IP/TCP
+frame decoding, BGP message extraction, per-connection analysis)
+appends a structured :class:`IngestIssue` to a shared
+:class:`TraceHealth` ledger, so a report can state exactly what was
+lost and where — the precondition for trusting any conclusion drawn
+from operational data.
+
+``TraceHealth(strict=True)`` restores fail-fast behaviour: recording a
+non-benign issue raises :class:`IngestError` instead of accumulating.
+Benign issues (e.g. non-IP frames, which every real capture contains)
+never raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Ingest stages, in pipeline order.
+STAGE_CAPTURE = "capture"
+STAGE_PCAP = "pcap"
+STAGE_FRAME = "frame"
+STAGE_BGP = "bgp"
+STAGE_ANALYSIS = "analysis"
+
+STAGES = (STAGE_CAPTURE, STAGE_PCAP, STAGE_FRAME, STAGE_BGP, STAGE_ANALYSIS)
+
+
+class IngestError(ValueError):
+    """Raised in strict mode when an ingest stage hits damaged input."""
+
+
+@dataclass(frozen=True)
+class IngestIssue:
+    """One thing an ingest stage could not parse or had to discard."""
+
+    stage: str  # one of STAGES
+    kind: str  # e.g. "truncated-record", "bad-marker", "undecodable-frame"
+    offset: int | None = None  # byte offset in the source file, if known
+    timestamp_us: int | None = None  # capture time, if known
+    bytes_lost: int = 0  # payload bytes this issue cost
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = []
+        if self.offset is not None:
+            where.append(f"offset {self.offset}")
+        if self.timestamp_us is not None:
+            where.append(f"t={self.timestamp_us}us")
+        location = " @ " + ", ".join(where) if where else ""
+        lost = f", {self.bytes_lost} bytes lost" if self.bytes_lost else ""
+        detail = f": {self.detail}" if self.detail else ""
+        return f"[{self.stage}] {self.kind}{location}{lost}{detail}"
+
+
+@dataclass
+class TraceHealth:
+    """Structured ledger of everything ingest dropped or repaired.
+
+    One instance travels through the whole pipeline (reader → frame
+    decoder → BGP reconstruction → analysis) and ends up attached to
+    the :class:`~repro.analysis.tdat.TdatReport`.
+    """
+
+    issues: list[IngestIssue] = field(default_factory=list)
+    strict: bool = False
+    records_read: int = 0
+    frames_decoded: int = 0
+
+    def record(
+        self,
+        stage: str,
+        kind: str,
+        *,
+        offset: int | None = None,
+        timestamp_us: int | None = None,
+        bytes_lost: int = 0,
+        detail: str = "",
+        benign: bool = False,
+    ) -> IngestIssue:
+        """Append one issue; in strict mode, non-benign issues raise."""
+        issue = IngestIssue(
+            stage=stage,
+            kind=kind,
+            offset=offset,
+            timestamp_us=timestamp_us,
+            bytes_lost=bytes_lost,
+            detail=detail,
+        )
+        if self.strict and not benign:
+            raise IngestError(str(issue))
+        self.issues.append(issue)
+        return issue
+
+    @property
+    def ok(self) -> bool:
+        """True when ingest saw nothing it had to drop or repair."""
+        return not self.issues
+
+    @property
+    def bytes_lost(self) -> int:
+        """Total payload bytes the recorded issues cost."""
+        return sum(issue.bytes_lost for issue in self.issues)
+
+    def by_stage(self) -> dict[str, int]:
+        """Issue counts keyed by pipeline stage."""
+        counts: dict[str, int] = {}
+        for issue in self.issues:
+            counts[issue.stage] = counts.get(issue.stage, 0) + 1
+        return counts
+
+    def by_kind(self) -> dict[str, int]:
+        """Issue counts keyed by issue kind."""
+        counts: dict[str, int] = {}
+        for issue in self.issues:
+            counts[issue.kind] = counts.get(issue.kind, 0) + 1
+        return counts
+
+    def merge(self, other: "TraceHealth") -> None:
+        """Fold another ledger (e.g. a capture-side one) into this one."""
+        self.issues.extend(other.issues)
+        self.records_read += other.records_read
+        self.frames_decoded += other.frames_decoded
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (used by ``tdat --json``)."""
+        return {
+            "ok": self.ok,
+            "records_read": self.records_read,
+            "frames_decoded": self.frames_decoded,
+            "bytes_lost": self.bytes_lost,
+            "issue_count": len(self.issues),
+            "by_stage": self.by_stage(),
+            "by_kind": self.by_kind(),
+            "issues": [
+                {
+                    "stage": issue.stage,
+                    "kind": issue.kind,
+                    "offset": issue.offset,
+                    "timestamp_us": issue.timestamp_us,
+                    "bytes_lost": issue.bytes_lost,
+                    "detail": issue.detail,
+                }
+                for issue in self.issues
+            ],
+        }
+
+    def summary(self, max_issues: int = 20) -> str:
+        """Human-readable multi-line report."""
+        if self.ok:
+            return (
+                f"trace health: clean ({self.records_read} records, "
+                f"{self.frames_decoded} frames decoded)"
+            )
+        lines = [
+            f"trace health: {len(self.issues)} issue(s), "
+            f"{self.bytes_lost} bytes lost "
+            f"({self.records_read} records, "
+            f"{self.frames_decoded} frames decoded)"
+        ]
+        for stage in STAGES:
+            count = self.by_stage().get(stage)
+            if count:
+                lines.append(f"  {stage}: {count} issue(s)")
+        for issue in self.issues[:max_issues]:
+            lines.append(f"  - {issue}")
+        hidden = len(self.issues) - max_issues
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more")
+        return "\n".join(lines)

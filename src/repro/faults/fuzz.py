@@ -1,0 +1,226 @@
+"""Fuzz campaigns: the full T-DAT pipeline over seeded mangled traces.
+
+Drives the robustness invariant the ingest layer promises:
+
+* **no crash** — every mangled variant of a clean capture runs through
+  ``analyze_pcap`` (and ``pcap_to_bgp``) end-to-end without an uncaught
+  exception;
+* **always accounted** — every run yields a
+  :class:`~repro.core.health.TraceHealth` report describing what was
+  dropped;
+* **clean is clean** — the unmangled trace produces an empty report and
+  factor vectors identical to the strict (legacy fail-fast) pipeline.
+
+Run it from the command line::
+
+    python -m repro.faults.fuzz --seeds 200
+
+Every case is replayable: a failing seed prints its operator plan, and
+``mangle(blob, plan, seed)`` regenerates the exact damaged bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import random
+import sys
+import traceback
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.faults.mangle import mangle, random_plan
+
+
+@dataclass
+class FuzzCase:
+    """Outcome of one mangled-trace pipeline run."""
+
+    seed: int
+    ops: list[str]
+    mangled_bytes: int
+    connections: int = 0
+    issues: int = 0
+    bytes_lost: int = 0
+    error: str | None = None  # traceback summary when the pipeline crashed
+
+    @property
+    def crashed(self) -> bool:
+        return self.error is not None
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a whole campaign."""
+
+    cases: list[FuzzCase] = field(default_factory=list)
+    clean_ok: bool = True
+    clean_detail: str = ""
+
+    @property
+    def crashes(self) -> list[FuzzCase]:
+        return [case for case in self.cases if case.crashed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.crashes and self.clean_ok
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {len(self.cases)} mangled trace(s), "
+            f"{len(self.crashes)} crash(es), "
+            f"clean-trace invariant "
+            f"{'ok' if self.clean_ok else 'VIOLATED'}"
+        ]
+        if not self.clean_ok:
+            lines.append(f"  clean: {self.clean_detail}")
+        for case in self.crashes:
+            lines.append(
+                f"  seed {case.seed} ops {','.join(case.ops)}: {case.error}"
+            )
+        if not self.crashes and self.cases:
+            issue_total = sum(case.issues for case in self.cases)
+            lines.append(
+                f"  {issue_total} ingest issue(s) recorded across the campaign"
+            )
+        return "\n".join(lines)
+
+
+@lru_cache(maxsize=4)
+def clean_trace_bytes(
+    table_prefixes: int = 2_000,
+    sim_seed: int = 7,
+    duration_s: int = 60,
+) -> bytes:
+    """A deterministic clean capture: one monitored table transfer."""
+    # Imported lazily: the mangler itself must not pull in the whole
+    # simulator stack.
+    from repro.bgp.table import generate_table
+    from repro.core.units import seconds
+    from repro.netsim.simulator import Simulator
+    from repro.wire.pcap import records_to_bytes
+    from repro.workloads.scenarios import MonitoringSetup, RouterParams
+
+    sim = Simulator()
+    setup = MonitoringSetup(sim)
+    table = generate_table(table_prefixes, random.Random(sim_seed))
+    setup.add_router(RouterParams(name="fuzz-r1", ip="10.90.0.1", table=table))
+    setup.start()
+    sim.run(until_us=seconds(duration_s))
+    return records_to_bytes(setup.sniffer.sorted_records())
+
+
+def run_case(blob: bytes, seed: int, min_ops: int = 1, max_ops: int = 3) -> FuzzCase:
+    """Mangle ``blob`` under ``seed`` and run the pipeline over it."""
+    from repro.analysis.tdat import analyze_pcap
+    from repro.tools.pcap2bgp import pcap_to_bgp
+
+    rng = random.Random(seed)
+    ops = random_plan(rng, min_ops=min_ops, max_ops=max_ops)
+    mangled = mangle(blob, ops, seed)
+    case = FuzzCase(seed=seed, ops=ops, mangled_bytes=len(mangled))
+    try:
+        report = analyze_pcap(io.BytesIO(mangled))
+        pcap_to_bgp(io.BytesIO(mangled), health=report.health)
+        case.connections = len(report)
+        case.issues = len(report.health.issues)
+        case.bytes_lost = report.health.bytes_lost
+    except Exception:
+        case.error = traceback.format_exc(limit=4).strip().splitlines()[-1]
+    return case
+
+
+def check_clean_invariant(blob: bytes) -> tuple[bool, str]:
+    """Clean trace: empty TraceHealth, factors identical to strict mode."""
+    from repro.analysis.tdat import analyze_pcap
+
+    tolerant = analyze_pcap(io.BytesIO(blob))
+    if not tolerant.health.ok:
+        return False, (
+            f"clean trace produced {len(tolerant.health.issues)} issue(s): "
+            f"{tolerant.health.issues[0]}"
+        )
+    strict = analyze_pcap(io.BytesIO(blob), strict=True)
+    if set(tolerant.analyses) != set(strict.analyses):
+        return False, "tolerant and strict modes analyzed different connections"
+    for key, analysis in tolerant.analyses.items():
+        if analysis.factors.ratios != strict.get(key).factors.ratios:
+            return False, f"factor vector drifted for {key}"
+        if analysis.factors.group_vector != strict.get(key).factors.group_vector:
+            return False, f"group vector drifted for {key}"
+    return True, ""
+
+
+def run_fuzz(
+    seeds: int = 200,
+    base_seed: int = 0,
+    table_prefixes: int = 2_000,
+    duration_s: int = 60,
+    min_ops: int = 1,
+    max_ops: int = 3,
+    progress=None,
+) -> FuzzReport:
+    """Run the whole campaign: clean invariant plus N mangled variants."""
+    blob = clean_trace_bytes(
+        table_prefixes=table_prefixes, duration_s=duration_s
+    )
+    report = FuzzReport()
+    report.clean_ok, report.clean_detail = check_clean_invariant(blob)
+    for i in range(seeds):
+        case = run_case(blob, base_seed + i, min_ops=min_ops, max_ops=max_ops)
+        report.cases.append(case)
+        if progress is not None:
+            progress(case)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run a campaign and exit nonzero on any invariant violation."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.fuzz",
+        description="Fuzz the T-DAT ingest pipeline with mangled pcaps",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=200,
+        help="number of mangled variants to run (default: 200)",
+    )
+    parser.add_argument(
+        "--base-seed", type=int, default=0,
+        help="first seed of the campaign (default: 0)",
+    )
+    parser.add_argument(
+        "--table", type=int, default=2_000,
+        help="prefixes in the clean trace's table (default: 2000)",
+    )
+    parser.add_argument(
+        "--max-ops", type=int, default=3,
+        help="most fault operators composed per case (default: 3)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print every case",
+    )
+    args = parser.parse_args(argv)
+
+    def progress(case: FuzzCase) -> None:
+        if args.verbose or case.crashed:
+            status = f"CRASH {case.error}" if case.crashed else (
+                f"ok ({case.connections} conn, {case.issues} issue(s))"
+            )
+            print(
+                f"seed {case.seed}: {','.join(case.ops)} -> {status}",
+                file=sys.stderr,
+            )
+
+    report = run_fuzz(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        table_prefixes=args.table,
+        max_ops=args.max_ops,
+        progress=progress,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -6,11 +6,22 @@ Installed as console scripts (see ``pyproject.toml``):
 * ``pcap2bgp <trace.pcap> <out.mrt>`` — reconstruct BGP messages;
 * ``tcptrace-lite <trace.pcap>`` — connection summaries;
 * ``bgplot <trace.pcap>`` — square-wave panels / CSV export.
+
+All tools degrade gracefully on operational input: a missing file or a
+trace too damaged to read produces a one-line error on stderr and exit
+code 2, never a traceback.  ``tdat`` additionally reports everything
+its tolerant ingest had to drop (the :class:`TraceHealth` ledger) and
+exits with code 3 when the capture was readable but damaged; pass
+``--strict`` to restore fail-fast behaviour.
+
+Exit codes: 0 success, 1 nothing to analyze, 2 error, 3 success with
+recorded ingest issues (``tdat`` only).
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 
@@ -20,11 +31,48 @@ from repro.analysis.series import (
     SNIFFER_IN_MIDDLE,
 )
 from repro.analysis.tdat import analyze_pcap
+from repro.core.health import IngestError
 from repro.tools import bgplot, pcap2bgp, tcptrace_lite
+from repro.wire.pcap import PcapError
 
 _LOCATIONS = [SNIFFER_AT_RECEIVER, SNIFFER_AT_SENDER, SNIFFER_IN_MIDDLE]
 
+EXIT_OK = 0
+EXIT_NOTHING = 1
+EXIT_ERROR = 2
+EXIT_ISSUES = 3
 
+
+def _guarded(func):
+    """Turn ingest failures into one-line errors + exit code 2.
+
+    Every entry point runs under this guard so operational mishaps —
+    a missing trace, a non-pcap file, a capture damaged beyond what
+    the tolerant reader can salvage, a decode failure — end in a
+    diagnostic on stderr and a nonzero status, never a traceback.
+    """
+
+    @functools.wraps(func)
+    def wrapper(argv: list[str] | None = None) -> int:
+        prog = func.__name__.removesuffix("_main").replace("_", "-")
+        try:
+            return func(argv)
+        except FileNotFoundError as exc:
+            name = getattr(exc, "filename", None) or exc
+            print(f"{prog}: error: no such file: {name}", file=sys.stderr)
+            return EXIT_ERROR
+        except IsADirectoryError as exc:
+            print(f"{prog}: error: is a directory: {exc.filename}",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        except (PcapError, IngestError, ValueError, OSError) as exc:
+            print(f"{prog}: error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+
+    return wrapper
+
+
+@_guarded
 def tdat_main(argv: list[str] | None = None) -> int:
     """Analyze a pcap trace and print the delay report."""
     parser = argparse.ArgumentParser(
@@ -44,18 +92,33 @@ def tdat_main(argv: list[str] | None = None) -> int:
         "--json", action="store_true",
         help="emit machine-readable JSON instead of text panels",
     )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail fast on damaged input instead of degrading gracefully",
+    )
     args = parser.parse_args(argv)
-    report = analyze_pcap(args.pcap, sniffer_location=args.sniffer_location)
+    report = analyze_pcap(
+        args.pcap, sniffer_location=args.sniffer_location, strict=args.strict
+    )
+    issues = not report.health.ok
     if not len(report):
+        if issues:
+            print(report.health.summary(), file=sys.stderr)
         print("no analyzable TCP connections found", file=sys.stderr)
-        return 1
+        return EXIT_NOTHING
     if args.json:
-        print(json.dumps([_analysis_to_dict(a) for a in report], indent=2))
-        return 0
-    for analysis in report:
-        print(bgplot.render_analysis(analysis, width=args.width))
-        print()
-    return 0
+        payload = {
+            "connections": [_analysis_to_dict(a) for a in report],
+            "health": report.health.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for analysis in report:
+            print(bgplot.render_analysis(analysis, width=args.width))
+            print()
+        if issues:
+            print(report.health.summary(), file=sys.stderr)
+    return EXIT_ISSUES if issues else EXIT_OK
 
 
 def _analysis_to_dict(analysis) -> dict:
@@ -107,6 +170,7 @@ def _analysis_to_dict(analysis) -> dict:
     }
 
 
+@_guarded
 def pcap2bgp_main(argv: list[str] | None = None) -> int:
     """Reconstruct BGP messages from a pcap trace into an MRT file."""
     parser = argparse.ArgumentParser(
@@ -125,6 +189,7 @@ def pcap2bgp_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+@_guarded
 def tcptrace_main(argv: list[str] | None = None) -> int:
     """Print per-connection summaries of a pcap trace."""
     parser = argparse.ArgumentParser(
@@ -137,6 +202,7 @@ def tcptrace_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+@_guarded
 def anonymize_main(argv: list[str] | None = None) -> int:
     """Prefix-preservingly anonymize a pcap for sharing."""
     from repro.tools.anonymize import anonymize_pcap
@@ -163,6 +229,7 @@ def anonymize_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+@_guarded
 def bgplot_main(argv: list[str] | None = None) -> int:
     """Render event-series panels (or CSV) for a pcap trace."""
     parser = argparse.ArgumentParser(

@@ -20,6 +20,7 @@ from typing import BinaryIO
 from repro.analysis.profile import Connection, Trace
 from repro.bgp.messages import BgpError, BgpMessage, MessageDecoder, UpdateMessage
 from repro.bgp.mrt import MrtRecord, write_mrt
+from repro.core.health import STAGE_BGP, TraceHealth
 from repro.wire.pcap import PcapRecord
 
 
@@ -41,31 +42,65 @@ class StreamResult:
     stream_bytes: int
     missing_bytes: int  # holes never filled (capture drops)
     decode_error: str | None = None
+    resync_events: int = 0  # malformed messages skipped via marker scan
+    skipped_bytes: int = 0  # stream bytes those skips discarded
 
     def updates(self) -> list[TimedMessage]:
         """Only the UPDATE messages."""
         return [m for m in self.messages if isinstance(m.message, UpdateMessage)]
 
 
-def reconstruct_stream(connection: Connection) -> StreamResult:
-    """Reassemble the data direction of one connection into messages."""
-    decoder = MessageDecoder()
+def reconstruct_stream(
+    connection: Connection,
+    resync: bool = True,
+    health: TraceHealth | None = None,
+) -> StreamResult:
+    """Reassemble the data direction of one connection into messages.
+
+    With ``resync`` (the default) a malformed BGP message costs exactly
+    that message: the decoder scans forward for the next marker and
+    resumes, recording the skip in the result (and ``health`` when
+    given).  With ``resync=False`` the first decode error stops the
+    stream, preserved in ``decode_error`` — the legacy fail-fast mode.
+    """
     messages: list[TimedMessage] = []
     pending: dict[int, bytes] = {}  # rel_seq -> payload not yet contiguous
     next_seq = 0
     stream_bytes = 0
     error: str | None = None
+    current_time = 0
+
+    def on_issue(kind: str, bytes_lost: int, detail: str) -> None:
+        nonlocal error
+        if error is None:
+            error = f"{kind}: {detail}"
+        if health is not None:
+            health.record(
+                STAGE_BGP, kind,
+                timestamp_us=current_time,
+                bytes_lost=bytes_lost,
+                detail=f"{connection.key}: {detail}",
+            )
+
+    decoder = MessageDecoder(resync=resync, on_issue=on_issue)
 
     def feed(data: bytes, timestamp: int) -> None:
-        nonlocal stream_bytes, error
+        nonlocal stream_bytes, error, current_time
         stream_bytes += len(data)
-        if error is not None:
+        current_time = timestamp
+        if error is not None and not resync:
             return
         try:
             for message in decoder.feed(data):
                 messages.append(TimedMessage(timestamp, message))
         except BgpError as exc:
             error = str(exc)
+            if health is not None:
+                health.record(
+                    STAGE_BGP, "stream-desynchronized",
+                    timestamp_us=timestamp,
+                    detail=f"{connection.key}: {exc}",
+                )
 
     for packet in connection.data_packets():
         seq = connection.relative_seq(packet)
@@ -97,6 +132,16 @@ def reconstruct_stream(connection: Connection) -> StreamResult:
         max(0, seq + len(payload) - max(next_seq, seq))
         for seq, payload in pending.items()
     )
+    if missing > 0 and health is not None:
+        # Capture drops left sequence holes that never filled: the
+        # stashed segments beyond them could not be decoded.
+        health.record(
+            STAGE_BGP, "stream-hole",
+            timestamp_us=current_time,
+            bytes_lost=missing,
+            detail=f"{connection.key}: {missing} stream bytes never arrived",
+            benign=True,
+        )
     return StreamResult(
         sender_ip=connection.sender_ip or "0.0.0.0",
         receiver_ip=connection.receiver_ip or "0.0.0.0",
@@ -104,6 +149,8 @@ def reconstruct_stream(connection: Connection) -> StreamResult:
         stream_bytes=stream_bytes,
         missing_bytes=missing,
         decode_error=error,
+        resync_events=decoder.resync_count,
+        skipped_bytes=decoder.bytes_skipped,
     )
 
 
@@ -117,12 +164,14 @@ class StreamingPcap2Bgp:
     the moment its last contiguous byte arrives.
     """
 
-    def __init__(self, on_message=None) -> None:
+    def __init__(self, on_message=None, resync: bool = True) -> None:
         self.on_message = on_message
+        self.resync = resync
         self._flows: dict[tuple, dict] = {}
         self.messages: list[tuple[tuple, TimedMessage]] = []
         self.frames_consumed = 0
         self.skipped_frames = 0
+        self.resync_events = 0
 
     def feed(self, record: PcapRecord) -> list[TimedMessage]:
         """Process one captured frame; returns messages it completed."""
@@ -143,7 +192,9 @@ class StreamingPcap2Bgp:
                 "isn": None,
                 "next_seq": 0,
                 "pending": {},
-                "decoder": MessageDecoder(),
+                "decoder": MessageDecoder(
+                    resync=self.resync, on_issue=self._count_resync
+                ),
                 "dead": False,
             }
             self._flows[flow] = state
@@ -157,6 +208,9 @@ class StreamingPcap2Bgp:
         rel = (parsed.tcp.seq - state["isn"] - 1) & 0xFFFFFFFF
         return self._ingest(flow, state, rel, parsed.tcp.payload,
                             record.timestamp_us)
+
+    def _count_resync(self, kind: str, bytes_lost: int, detail: str) -> None:
+        self.resync_events += 1
 
     def _ingest(self, flow, state, seq, payload, timestamp):
         out: list[TimedMessage] = []
@@ -207,16 +261,25 @@ class StreamingPcap2Bgp:
 def pcap_to_bgp(
     source: BinaryIO | str | Path | list[PcapRecord],
     min_data_packets: int = 1,
+    resync: bool = True,
+    health: TraceHealth | None = None,
 ) -> dict[tuple, StreamResult]:
     """Reconstruct every connection's BGP stream from a capture."""
-    trace = source if isinstance(source, Trace) else Trace.from_pcap(source)
+    if isinstance(source, Trace):
+        trace = source
+    else:
+        trace = Trace.from_pcap(
+            source, health=health, tolerant=health is not None
+        )
     results: dict[tuple, StreamResult] = {}
     for connection in trace:
         if connection.profile is None:
             continue
         if connection.profile.total_data_packets < min_data_packets:
             continue
-        results[connection.key] = reconstruct_stream(connection)
+        results[connection.key] = reconstruct_stream(
+            connection, resync=resync, health=health
+        )
     return results
 
 

@@ -7,6 +7,7 @@ recovers them with :func:`parse_frame`.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from repro.wire import ethernet, ip, tcpw
@@ -72,18 +73,27 @@ def parse_frame(data: bytes, verify_checksums: bool = False) -> ParsedFrame:
     """Decode a captured Ethernet frame down to the TCP layer.
 
     Raises :class:`FrameError` for non-IPv4 or non-TCP frames so callers
-    can skip them (real captures contain ARP, LLDP, ...).
+    can skip them (real captures contain ARP, LLDP, ...).  Any decode
+    failure on arbitrary damaged bytes — truncated headers, bad IHL,
+    mangled options — also surfaces as :class:`FrameError`, never as a
+    lower-level exception, so tolerant ingest can treat "one bad frame"
+    uniformly.
     """
-    eth = ethernet.decode(data)
-    if eth.ethertype != ethernet.ETHERTYPE_IPV4:
-        raise FrameError(f"not IPv4 (ethertype 0x{eth.ethertype:04x})")
-    ipv4 = ip.decode(eth.payload, verify_checksum=verify_checksums)
-    if ipv4.protocol != ip.PROTO_TCP:
-        raise FrameError(f"not TCP (protocol {ipv4.protocol})")
-    tcp = tcpw.decode(
-        ipv4.payload,
-        src_ip=ipv4.src,
-        dst_ip=ipv4.dst,
-        verify_checksum=verify_checksums,
-    )
+    try:
+        eth = ethernet.decode(data)
+        if eth.ethertype != ethernet.ETHERTYPE_IPV4:
+            raise FrameError(f"not IPv4 (ethertype 0x{eth.ethertype:04x})")
+        ipv4 = ip.decode(eth.payload, verify_checksum=verify_checksums)
+        if ipv4.protocol != ip.PROTO_TCP:
+            raise FrameError(f"not TCP (protocol {ipv4.protocol})")
+        tcp = tcpw.decode(
+            ipv4.payload,
+            src_ip=ipv4.src,
+            dst_ip=ipv4.dst,
+            verify_checksum=verify_checksums,
+        )
+    except FrameError:
+        raise
+    except (ValueError, IndexError, struct.error) as exc:
+        raise FrameError(f"undecodable frame: {exc}") from exc
     return ParsedFrame(eth=eth, ipv4=ipv4, tcp=tcp)

@@ -1,9 +1,21 @@
 """pcap (libpcap classic) file reading and writing.
 
 Implements the 24-byte global header plus 16-byte per-record headers,
-microsecond timestamps, both byte orders on read, and truncation-aware
-iteration so analysis survives the capture drops the paper notes
-tcpdump suffers (section II-A).
+microsecond and nanosecond timestamp variants, both byte orders on
+read, and truncation-aware iteration so analysis survives the capture
+drops the paper notes tcpdump suffers (section II-A).
+
+Two reading disciplines:
+
+* strict (the default): malformed structure raises :class:`PcapError`,
+  except for a truncated trailing record which is tolerated like
+  ``tcpdump -r`` does;
+* tolerant (``PcapReader(..., tolerant=True)``): nothing past the
+  global header raises.  Implausible record headers trigger a forward
+  scan that resynchronizes on the next plausible record boundary, and
+  every skipped or truncated region is recorded as an
+  :class:`~repro.core.health.IngestIssue` in the supplied
+  :class:`~repro.core.health.TraceHealth` ledger.
 """
 
 from __future__ import annotations
@@ -15,15 +27,26 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO
 
-from repro.core.units import from_pcap_timestamp, pcap_timestamp
+from repro.core.health import STAGE_PCAP, TraceHealth
+from repro.core.units import US_PER_SECOND, from_pcap_timestamp, pcap_timestamp
 
 MAGIC_US = 0xA1B2C3D4
 MAGIC_US_SWAPPED = 0xD4C3B2A1
+MAGIC_NS = 0xA1B23C4D
+MAGIC_NS_SWAPPED = 0x4D3CB2A1
 LINKTYPE_ETHERNET = 1
 
 GLOBAL_HEADER = struct.Struct("IHHiIII")
 RECORD_HEADER = struct.Struct("IIII")
 DEFAULT_SNAPLEN = 65535
+
+# Tolerant mode refuses to believe record headers claiming more than
+# this many captured bytes: it bounds memory on corrupt length fields
+# and is far above any real snaplen.
+MAX_PLAUSIBLE_CAPLEN = 1 << 22
+# Resync scans look this far ahead for the next plausible record
+# boundary before declaring the remainder of the file unreadable.
+RESYNC_SCAN_LIMIT = 1 << 20
 
 
 class PcapError(ValueError):
@@ -57,6 +80,7 @@ class PcapWriter:
         target: BinaryIO | str | Path,
         linktype: int = LINKTYPE_ETHERNET,
         snaplen: int = DEFAULT_SNAPLEN,
+        nanosecond: bool = False,
     ) -> None:
         if isinstance(target, (str, Path)):
             self._stream: BinaryIO = open(target, "wb")
@@ -65,16 +89,33 @@ class PcapWriter:
             self._stream = target
             self._owns_stream = False
         self.snaplen = snaplen
-        self._stream.write(
-            GLOBAL_HEADER.pack(MAGIC_US, 2, 4, 0, 0, snaplen, linktype)
-        )
+        self.nanosecond = nanosecond
+        self._closed = False
+        magic = MAGIC_NS if nanosecond else MAGIC_US
+        try:
+            self._stream.write(
+                GLOBAL_HEADER.pack(magic, 2, 4, 0, 0, snaplen, linktype)
+            )
+        except Exception:
+            # Never leak the file handle when the header write fails.
+            self.close()
+            raise
 
     def write(self, record: PcapRecord) -> None:
-        """Append one record, honouring the snap length."""
+        """Append one record, honouring the snap length.
+
+        The on-disk ``orig_len`` field always records the true wire
+        length: when this writer's snaplen truncates ``record.data``,
+        the full pre-truncation length is written, never the truncated
+        one, so readers can still account for the missing bytes.
+        """
         data = record.data[: self.snaplen]
-        ts_sec, ts_usec = pcap_timestamp(record.timestamp_us)
+        wire_length = max(record.wire_length, len(record.data))
+        ts_sec, ts_frac = pcap_timestamp(record.timestamp_us)
+        if self.nanosecond:
+            ts_frac *= 1000
         self._stream.write(
-            RECORD_HEADER.pack(ts_sec, ts_usec, len(data), record.wire_length)
+            RECORD_HEADER.pack(ts_sec, ts_frac, len(data), wire_length)
         )
         self._stream.write(data)
 
@@ -84,10 +125,18 @@ class PcapWriter:
             self.write(record)
 
     def close(self) -> None:
-        """Flush and close (only closes streams this writer opened)."""
-        self._stream.flush()
-        if self._owns_stream:
-            self._stream.close()
+        """Flush and close (only closes streams this writer opened).
+
+        Idempotent, so error paths may call it unconditionally.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._stream.flush()
+        finally:
+            if self._owns_stream:
+                self._stream.close()
 
     def __enter__(self) -> "PcapWriter":
         return self
@@ -97,31 +146,116 @@ class PcapWriter:
 
 
 class PcapReader:
-    """Iterates :class:`PcapRecord` items out of a classic pcap file."""
+    """Iterates :class:`PcapRecord` items out of a classic pcap file.
 
-    def __init__(self, source: BinaryIO | str | Path) -> None:
+    With ``tolerant=True`` nothing past the global header raises:
+    damaged regions are skipped (resynchronizing on the next plausible
+    record header) and accounted in ``health``.  An unrecognizable
+    global header yields an empty iteration instead of raising.
+    """
+
+    def __init__(
+        self,
+        source: BinaryIO | str | Path,
+        tolerant: bool = False,
+        health: TraceHealth | None = None,
+    ) -> None:
         if isinstance(source, (str, Path)):
             self._stream: BinaryIO = open(source, "rb")
             self._owns_stream = True
         else:
             self._stream = source
             self._owns_stream = False
+        self.tolerant = tolerant
+        self.health = health if health is not None else TraceHealth()
+        self.nanosecond = False
+        self.snaplen = DEFAULT_SNAPLEN
+        self.linktype = LINKTYPE_ETHERNET
+        self._offset = 0  # absolute byte offset of the next unread byte
+        self._unusable = False
+        self._endian = "<"
+        self._read_global_header()
+
+    # ------------------------------------------------------------------
+    # Header parsing
+    # ------------------------------------------------------------------
+    def _read_global_header(self) -> None:
         header = self._stream.read(GLOBAL_HEADER.size)
+        self._offset += len(header)
         if len(header) < GLOBAL_HEADER.size:
-            raise PcapError("truncated pcap global header")
+            self._give_up("truncated-global-header",
+                          f"{len(header)} of {GLOBAL_HEADER.size} bytes",
+                          bytes_lost=len(header))
+            return
         magic = struct.unpack("<I", header[:4])[0]
-        if magic == MAGIC_US:
+        if magic in (MAGIC_US, MAGIC_NS):
             self._endian = "<"
-        elif magic == MAGIC_US_SWAPPED:
+        elif magic in (MAGIC_US_SWAPPED, MAGIC_NS_SWAPPED):
             self._endian = ">"
         else:
-            raise PcapError(f"unrecognized pcap magic 0x{magic:08x}")
+            self._give_up("bad-magic", f"0x{magic:08x}")
+            return
+        self.nanosecond = magic in (MAGIC_NS, MAGIC_NS_SWAPPED)
         fields = struct.unpack(self._endian + "IHHiIII", header)
         _, major, minor, _, _, self.snaplen, self.linktype = fields
         if (major, minor) != (2, 4):
-            raise PcapError(f"unsupported pcap version {major}.{minor}")
+            if not self.tolerant:
+                raise PcapError(f"unsupported pcap version {major}.{minor}")
+            # Record layout has been 2.4 since libpcap 0.4; carry on.
+            self.health.record(
+                STAGE_PCAP, "unsupported-version",
+                offset=0, detail=f"{major}.{minor}",
+            )
+
+    def _give_up(self, kind: str, detail: str, bytes_lost: int = 0) -> None:
+        """Global-header damage: raise (strict) or drain (tolerant)."""
+        if not self.tolerant:
+            if kind == "bad-magic":
+                raise PcapError(f"unrecognized pcap magic {detail}")
+            raise PcapError("truncated pcap global header")
+        rest = self._stream.read()
+        self.health.record(
+            STAGE_PCAP, kind,
+            offset=0, bytes_lost=bytes_lost + len(rest), detail=detail,
+        )
+        self._unusable = True
+
+    # ------------------------------------------------------------------
+    # Record iteration
+    # ------------------------------------------------------------------
+    def _timestamp(self, ts_sec: int, ts_frac: int) -> int:
+        if self.nanosecond:
+            return ts_sec * US_PER_SECOND + ts_frac // 1000
+        return from_pcap_timestamp(ts_sec, ts_frac)
+
+    def _plausible_header(self, raw: bytes, at: int = 0) -> bool:
+        """Could ``raw[at:at+16]`` be a believable record header?"""
+        if len(raw) - at < RECORD_HEADER.size:
+            return False
+        _, ts_frac, incl_len, orig_len = struct.unpack_from(
+            self._endian + "IIII", raw, at
+        )
+        frac_limit = US_PER_SECOND * (1000 if self.nanosecond else 1)
+        if ts_frac >= frac_limit:
+            return False
+        if incl_len > MAX_PLAUSIBLE_CAPLEN:
+            return False
+        cap = self.snaplen if 0 < self.snaplen <= MAX_PLAUSIBLE_CAPLEN else DEFAULT_SNAPLEN
+        if incl_len > cap:
+            return False
+        if orig_len < incl_len or orig_len > MAX_PLAUSIBLE_CAPLEN:
+            return False
+        return True
 
     def __iter__(self) -> Iterator[PcapRecord]:
+        if self._unusable:
+            return
+        if self.tolerant:
+            yield from self._iter_tolerant()
+        else:
+            yield from self._iter_strict()
+
+    def _iter_strict(self) -> Iterator[PcapRecord]:
         record_struct = struct.Struct(self._endian + "IIII")
         while True:
             header = self._stream.read(record_struct.size)
@@ -130,15 +264,127 @@ class PcapReader:
             if len(header) < record_struct.size:
                 # A truncated trailing record: tolerate, like tcpdump -r.
                 return
-            ts_sec, ts_usec, incl_len, orig_len = record_struct.unpack(header)
+            ts_sec, ts_frac, incl_len, orig_len = record_struct.unpack(header)
             data = self._stream.read(incl_len)
             if len(data) < incl_len:
                 return
+            self.health.records_read += 1
             yield PcapRecord(
-                timestamp_us=from_pcap_timestamp(ts_sec, ts_usec),
+                timestamp_us=self._timestamp(ts_sec, ts_frac),
                 data=data,
                 original_length=orig_len,
             )
+
+    def _iter_tolerant(self) -> Iterator[PcapRecord]:
+        last_ts: int | None = None
+        regressions = 0
+        first_regression_at: int | None = None
+        try:
+            while True:
+                start = self._offset
+                header = self._read_exact(RECORD_HEADER.size)
+                if not header:
+                    return
+                if len(header) < RECORD_HEADER.size:
+                    self.health.record(
+                        STAGE_PCAP, "truncated-record-header",
+                        offset=start, bytes_lost=len(header),
+                        detail=f"{len(header)} of {RECORD_HEADER.size} header bytes",
+                    )
+                    return
+                if not self._plausible_header(header):
+                    if not self._resync(start, header):
+                        return
+                    continue
+                ts_sec, ts_frac, incl_len, orig_len = struct.unpack(
+                    self._endian + "IIII", header
+                )
+                data = self._read_exact(incl_len)
+                if len(data) < incl_len:
+                    self.health.record(
+                        STAGE_PCAP, "truncated-record",
+                        offset=start,
+                        timestamp_us=self._timestamp(ts_sec, ts_frac),
+                        bytes_lost=RECORD_HEADER.size + len(data),
+                        detail=f"{len(data)} of {incl_len} data bytes",
+                    )
+                    return
+                timestamp = self._timestamp(ts_sec, ts_frac)
+                if last_ts is not None and timestamp < last_ts:
+                    regressions += 1
+                    if first_regression_at is None:
+                        first_regression_at = timestamp
+                last_ts = timestamp
+                self.health.records_read += 1
+                yield PcapRecord(
+                    timestamp_us=timestamp,
+                    data=data,
+                    original_length=orig_len,
+                )
+        finally:
+            if regressions:
+                # One summary issue per file: clock steps and capture
+                # reordering are common enough that per-record entries
+                # would drown the report.
+                self.health.record(
+                    STAGE_PCAP, "timestamp-regression",
+                    timestamp_us=first_regression_at,
+                    detail=f"{regressions} record(s) went backwards in time",
+                    benign=True,
+                )
+
+    def _read_exact(self, count: int) -> bytes:
+        data = self._stream.read(count)
+        self._offset += len(data)
+        return data
+
+    def _resync(self, start: int, bad_header: bytes) -> bool:
+        """Scan forward for the next plausible record boundary.
+
+        ``bad_header`` is the 16 implausible bytes already consumed.
+        Returns True when a boundary was found (stream positioned at
+        it); False when the rest of the file had to be abandoned.  A
+        candidate is *verified* when the record it frames is followed
+        by another plausible header — that keeps random payload bytes
+        from masquerading as a boundary.  A candidate whose record runs
+        to or past the end of the scan window cannot be verified; the
+        first such candidate is kept only as a fallback, used when no
+        verified boundary exists in the window.
+        """
+        window = bytearray(bad_header)
+        window += self._stream.read(RESYNC_SCAN_LIMIT)
+        self._offset = start + len(window)
+        found_at: int | None = None
+        fallback_at: int | None = None
+        for i in range(1, len(window) - RECORD_HEADER.size + 1):
+            if not self._plausible_header(window, i):
+                continue
+            _, _, incl_len, _ = struct.unpack_from(self._endian + "IIII", window, i)
+            following = i + RECORD_HEADER.size + incl_len
+            if self._plausible_header(window, following):
+                found_at = i
+                break
+            if following >= len(window) and fallback_at is None:
+                fallback_at = i
+        if found_at is None:
+            found_at = fallback_at
+        if found_at is None:
+            self.health.record(
+                STAGE_PCAP, "unreadable-tail",
+                offset=start, bytes_lost=len(window),
+                detail="no plausible record boundary found",
+            )
+            return False
+        self.health.record(
+            STAGE_PCAP, "bad-record-header",
+            offset=start, bytes_lost=found_at,
+            detail=f"resynchronized after {found_at} bytes",
+        )
+        # Rewind the unconsumed tail of the scan window.
+        tail = bytes(window[found_at:])
+        self._stream = _ChainedStream(tail, self._stream)
+        self._offset = start + found_at
+        return True
 
     def close(self) -> None:
         """Close the underlying stream if this reader opened it."""
@@ -152,9 +398,36 @@ class PcapReader:
         self.close()
 
 
-def read_pcap(source: BinaryIO | str | Path) -> list[PcapRecord]:
+class _ChainedStream:
+    """A minimal read-only stream serving buffered bytes then a stream."""
+
+    def __init__(self, head: bytes, rest: BinaryIO) -> None:
+        self._head = head
+        self._pos = 0
+        self._rest = rest
+
+    def read(self, count: int = -1) -> bytes:
+        if count is None or count < 0:
+            out = self._head[self._pos:] + self._rest.read()
+            self._pos = len(self._head)
+            return out
+        out = self._head[self._pos : self._pos + count]
+        self._pos += len(out)
+        if len(out) < count:
+            out += self._rest.read(count - len(out))
+        return out
+
+    def close(self) -> None:
+        self._rest.close()
+
+
+def read_pcap(
+    source: BinaryIO | str | Path,
+    tolerant: bool = False,
+    health: TraceHealth | None = None,
+) -> list[PcapRecord]:
     """Read an entire pcap file into memory."""
-    with PcapReader(source) as reader:
+    with PcapReader(source, tolerant=tolerant, health=health) as reader:
         return list(reader)
 
 
@@ -162,14 +435,19 @@ def write_pcap(
     target: BinaryIO | str | Path,
     records: Iterable[PcapRecord],
     snaplen: int = DEFAULT_SNAPLEN,
+    nanosecond: bool = False,
 ) -> None:
     """Write ``records`` as a complete pcap file."""
-    with PcapWriter(target, snaplen=snaplen) as writer:
+    with PcapWriter(target, snaplen=snaplen, nanosecond=nanosecond) as writer:
         writer.write_all(records)
 
 
-def records_to_bytes(records: Iterable[PcapRecord]) -> bytes:
+def records_to_bytes(
+    records: Iterable[PcapRecord],
+    snaplen: int = DEFAULT_SNAPLEN,
+    nanosecond: bool = False,
+) -> bytes:
     """Render a pcap file as an in-memory byte string."""
     buffer = io.BytesIO()
-    write_pcap(buffer, records)
+    write_pcap(buffer, records, snaplen=snaplen, nanosecond=nanosecond)
     return buffer.getvalue()

@@ -214,3 +214,80 @@ class TestMessageDecoder:
 
     def test_marker_constant(self):
         assert MARKER == b"\xff" * 16
+
+
+class TestMessageDecoderResync:
+    """RFC 7606-spirit containment: one bad message, not a dead session."""
+
+    def stream(self):
+        messages = [
+            OpenMessage(my_as=1, hold_time_s=180, bgp_id="1.1.1.1"),
+            KeepaliveMessage(),
+            UpdateMessage(
+                announced=(Prefix("10.0.0.0", 8),),
+                attributes=PathAttributes.from_path([1, 2], "10.0.0.1"),
+            ),
+            KeepaliveMessage(),
+        ]
+        return messages, [encode_message(m) for m in messages]
+
+    def test_garbage_prefix_skipped(self):
+        messages, encoded = self.stream()
+        garbage = b"\x00\x01\x02" * 7
+        decoder = MessageDecoder(resync=True)
+        got = decoder.feed(garbage + b"".join(encoded))
+        assert got == messages
+        assert decoder.resync_count == 1
+        assert decoder.bytes_skipped == len(garbage)
+
+    def test_corrupt_marker_costs_one_message(self):
+        messages, encoded = self.stream()
+        damaged = bytearray(encoded[1])
+        damaged[3] ^= 0xFF  # break the KEEPALIVE's marker
+        blob = encoded[0] + bytes(damaged) + encoded[2] + encoded[3]
+        issues = []
+        decoder = MessageDecoder(
+            resync=True,
+            on_issue=lambda kind, lost, detail: issues.append(kind),
+        )
+        got = decoder.feed(blob)
+        assert got == [messages[0], messages[2], messages[3]]
+        assert "bad-marker" in issues
+        assert decoder.bytes_skipped > 0
+
+    def test_bad_length_field_recovers(self):
+        messages, encoded = self.stream()
+        bogus = MARKER + b"\x00\x05\x04"  # length 5 < minimum header
+        decoder = MessageDecoder(resync=True)
+        got = decoder.feed(encoded[0] + bogus + b"".join(encoded[1:]))
+        assert got == messages
+
+    def test_malformed_body_costs_only_itself(self):
+        messages, encoded = self.stream()
+        # Valid framing, impossible body: KEEPALIVE with trailing bytes.
+        bogus = MARKER + b"\x00\x15\x04" + b"xx"
+        issues = []
+        decoder = MessageDecoder(
+            resync=True,
+            on_issue=lambda kind, lost, detail: issues.append((kind, lost)),
+        )
+        got = decoder.feed(encoded[0] + bogus + b"".join(encoded[1:]))
+        assert got == messages
+        assert ("malformed-message", len(bogus)) in issues
+
+    def test_byte_by_byte_resync(self):
+        messages, encoded = self.stream()
+        damaged = bytearray(encoded[2])
+        damaged[0] ^= 0x01
+        blob = encoded[0] + encoded[1] + bytes(damaged) + encoded[3]
+        decoder = MessageDecoder(resync=True)
+        got = []
+        for i in range(len(blob)):
+            got.extend(decoder.feed(blob[i : i + 1]))
+        assert got == [messages[0], messages[1], messages[3]]
+
+    def test_without_resync_still_raises(self):
+        _, encoded = self.stream()
+        decoder = MessageDecoder()
+        with pytest.raises(BgpError):
+            decoder.feed(b"junk" * 5 + encoded[0])

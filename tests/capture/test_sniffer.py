@@ -149,3 +149,31 @@ class TestSnifferUnit:
             frames.parse_frame(r.data).ipv4.identification for r in tap.records
         ]
         assert ids == [0, 1]
+
+    def test_health_ledger_accounts_drop_windows(self):
+        from repro.core.health import STAGE_CAPTURE
+        from repro.netsim.packet import Packet
+        from repro.wire.tcpw import ACK, TcpHeader
+
+        sim = Simulator()
+        tap = SnifferTap(sim, drop_windows=[(100, 200), (500, 600)])
+        header = TcpHeader(
+            src_port=1, dst_port=2, seq=0, ack=0, flags=ACK, window=100
+        )
+        pkt = Packet(src="1.1.1.1", dst="2.2.2.2", payload=header, wire_length=54)
+        tap._observe(pkt, 50)    # captured
+        tap._observe(pkt, 150)   # dropped in window 1
+        tap._observe(pkt, 150)   # dropped in window 1
+        tap._observe(pkt, 700)   # captured (window 2 never hit)
+        health = tap.health()
+        assert health.records_read == 2
+        assert health.by_stage() == {STAGE_CAPTURE: 1}
+        (issue,) = health.issues
+        assert issue.kind == "sniffer-drop-window"
+        assert issue.bytes_lost == 108
+        assert "2 frame(s) dropped" in issue.detail
+
+    def test_health_clean_when_nothing_dropped(self):
+        sim = Simulator()
+        tap = SnifferTap(sim, drop_windows=[(100, 200)])
+        assert tap.health().ok

@@ -218,9 +218,11 @@ class TestClis:
         rc = cli.tdat_main([str(clean_capture["path"]), "--json"])
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
-        assert len(payload) == 1
-        entry = payload[0]
+        assert len(payload["connections"]) == 1
+        entry = payload["connections"][0]
         assert entry["sender"] == "10.1.0.1"
         assert set(entry["factors"]["groups"]) == {"sender", "receiver", "network"}
         assert "timer_gaps" in entry["detectors"]
         assert entry["profile"]["mss"] == 1400
+        assert payload["health"]["ok"] is True
+        assert payload["health"]["issue_count"] == 0

@@ -7,11 +7,14 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.core.health import TraceHealth
 from repro.wire import frames, tcpw
 from repro.wire.pcap import (
+    MAGIC_NS,
     PcapError,
     PcapReader,
     PcapRecord,
+    PcapWriter,
     read_pcap,
     records_to_bytes,
     write_pcap,
@@ -98,6 +101,170 @@ class TestPcapRoundtrip:
         records = [PcapRecord(ts, data) for ts, data in items]
         got = read_pcap(io.BytesIO(records_to_bytes(records)))
         assert [(r.timestamp_us, r.data) for r in got] == items
+
+
+class TestNanosecondMagic:
+    def test_roundtrip_nanosecond_file(self):
+        blob = records_to_bytes(sample_records(), nanosecond=True)
+        assert struct.unpack("<I", blob[:4])[0] == MAGIC_NS
+        got = read_pcap(io.BytesIO(blob))
+        assert [(r.timestamp_us, r.data) for r in got] == [
+            (r.timestamp_us, r.data) for r in sample_records()
+        ]
+
+    def test_reader_flags_nanosecond(self):
+        reader = PcapReader(io.BytesIO(records_to_bytes([], nanosecond=True)))
+        assert reader.nanosecond
+        assert not PcapReader(io.BytesIO(records_to_bytes([]))).nanosecond
+
+    def test_hand_built_swapped_nanosecond(self):
+        # Big-endian file with the nanosecond magic: ts_frac is in ns.
+        header = struct.pack(">IHHiIII", MAGIC_NS, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 3, 500_000_123, 4, 4) + b"abcd"
+        (got,) = read_pcap(io.BytesIO(header + record))
+        assert got.timestamp_us == 3_500_000  # sub-µs precision truncated
+        assert got.data == b"abcd"
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_microsecond_precision_preserved(self, timestamp_us):
+        blob = records_to_bytes(
+            [PcapRecord(timestamp_us, b"x")], nanosecond=True
+        )
+        (got,) = read_pcap(io.BytesIO(blob))
+        assert got.timestamp_us == timestamp_us
+
+
+class TestPcapWriter:
+    def test_snaplen_truncation_keeps_true_wire_length(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        with PcapWriter(path, snaplen=32) as writer:
+            writer.write(PcapRecord(0, b"q" * 90))
+        (got,) = read_pcap(path)
+        assert got.captured_length == 32
+        assert got.wire_length == 90
+
+    def test_wire_length_never_below_captured(self):
+        # An inconsistent record (orig_len < captured bytes) is repaired
+        # on write so readers never see orig_len < incl_len.
+        buffer = io.BytesIO()
+        with PcapWriter(buffer) as writer:
+            writer.write(PcapRecord(0, b"z" * 100, original_length=50))
+        buffer.seek(0)
+        (got,) = read_pcap(buffer)
+        assert got.wire_length == 100
+
+    def test_context_manager_closes_on_error(self, tmp_path):
+        path = tmp_path / "err.pcap"
+        with pytest.raises(RuntimeError):
+            with PcapWriter(path) as writer:
+                writer.write(PcapRecord(0, b"partial"))
+                raise RuntimeError("simulated failure mid-write")
+        assert writer._stream.closed
+        # What made it to disk before the error is a readable pcap.
+        (got,) = read_pcap(path)
+        assert got.data == b"partial"
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = PcapWriter(tmp_path / "idem.pcap")
+        writer.close()
+        writer.close()
+
+    def test_borrowed_stream_left_open(self):
+        buffer = io.BytesIO()
+        with PcapWriter(buffer) as writer:
+            writer.write(PcapRecord(0, b"a"))
+        assert not buffer.closed
+
+
+class TestTolerantReader:
+    def damaged_blob(self):
+        """Five records with the middle one's length field smashed."""
+        records = [
+            PcapRecord(timestamp_us=i * 1_000, data=bytes([i]) * 40)
+            for i in range(5)
+        ]
+        blob = bytearray(records_to_bytes(records))
+        offset = 24 + 2 * (16 + 40)  # third record's header
+        struct.pack_into("<I", blob, offset + 8, 0xFFFFFFFF)
+        return bytes(blob), records
+
+    def test_bad_magic_yields_empty_plus_issue(self):
+        health = TraceHealth()
+        got = read_pcap(io.BytesIO(b"\x00" * 64), tolerant=True, health=health)
+        assert got == []
+        assert health.by_kind() == {"bad-magic": 1}
+
+    def test_truncated_global_header_tolerated(self):
+        health = TraceHealth()
+        got = read_pcap(io.BytesIO(b"\xd4\xc3"), tolerant=True, health=health)
+        assert got == []
+        assert health.by_kind() == {"truncated-global-header": 1}
+
+    def test_strict_still_raises(self):
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(b"\x00" * 64))
+
+    def test_resync_skips_only_damaged_record(self):
+        blob, records = self.damaged_blob()
+        health = TraceHealth()
+        got = read_pcap(io.BytesIO(blob), tolerant=True, health=health)
+        assert [r.data for r in got] == [
+            r.data for i, r in enumerate(records) if i != 2
+        ]
+        assert health.by_kind().get("bad-record-header") == 1
+        assert health.records_read == 4
+
+    def test_mid_file_truncation_recorded(self):
+        blob = records_to_bytes(sample_records())
+        health = TraceHealth()
+        got = read_pcap(io.BytesIO(blob[:-5]), tolerant=True, health=health)
+        assert len(got) == 2
+        assert health.by_kind() == {"truncated-record": 1}
+
+    def test_timestamp_regression_is_one_benign_issue(self):
+        records = [
+            PcapRecord(timestamp_us=5_000_000, data=b"a"),
+            PcapRecord(timestamp_us=1_000_000, data=b"b"),
+            PcapRecord(timestamp_us=500_000, data=b"c"),
+        ]
+        health = TraceHealth(strict=True)  # benign: must not raise
+        got = read_pcap(
+            io.BytesIO(records_to_bytes(records)), tolerant=True, health=health
+        )
+        assert len(got) == 3
+        assert health.by_kind() == {"timestamp-regression": 1}
+
+    def test_clean_file_tolerant_equals_strict(self):
+        blob = records_to_bytes(sample_records())
+        health = TraceHealth()
+        tolerant = read_pcap(io.BytesIO(blob), tolerant=True, health=health)
+        assert tolerant == read_pcap(io.BytesIO(blob))
+        assert health.ok
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**40),
+                st.binary(min_size=1, max_size=200),
+            ),
+            max_size=12,
+        ),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    def test_truncation_never_raises_yields_prefix(self, items, cut_draw):
+        """The satellite property: write → truncate anywhere → tolerant
+        read never raises and yields a prefix of the original records."""
+        records = [PcapRecord(ts, data) for ts, data in items]
+        blob = records_to_bytes(records)
+        cut = cut_draw % (len(blob) + 1)
+        health = TraceHealth()
+        got = read_pcap(io.BytesIO(blob[:cut]), tolerant=True, health=health)
+        assert len(got) <= len(records)
+        assert [(r.timestamp_us, r.data) for r in got] == [
+            (r.timestamp_us, r.data) for r in records[: len(got)]
+        ]
+        if cut < len(blob):
+            assert not health.ok or len(got) < len(records) or cut == 0
 
 
 class TestFrames:
