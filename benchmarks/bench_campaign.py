@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Benchmark the parallel campaign engine against the serial baseline.
+
+Runs the same campaign twice — ``workers=1`` and ``workers=N`` — each
+in a fresh subprocess (so wall time and peak RSS are clean, with no
+warm caches or shared interpreter state), verifies the two runs
+produced byte-identical reports, and writes a JSON summary::
+
+    python benchmarks/bench_campaign.py --transfers 6 --workers 2 \
+        --out BENCH_campaign.json
+
+Speedup is machine-dependent: on a single-CPU box the parallel run
+cannot win and the report says so honestly (``cpus`` is recorded).
+Pass ``--assert-speedup X`` to fail the run unless speedup >= X —
+CI uses this on multi-core runners as a regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _child(args: argparse.Namespace) -> int:
+    """One measured run; emits a single JSON line on stdout."""
+    from repro.api import Pipeline
+
+    start = time.perf_counter()
+    result = Pipeline(workers=args.workers).campaign(
+        args.campaign,
+        seed=args.seed,
+        transfers=args.transfers,
+        overrides={"zero_bug_episodes": 0},
+    )
+    wall_s = time.perf_counter() - start
+    payload = json.dumps(result.to_dict(), sort_keys=True)
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        children = resource.getrusage(resource.RUSAGE_CHILDREN)
+        peak_rss_kb = max(usage.ru_maxrss, children.ru_maxrss)
+    except ImportError:  # non-POSIX: report what we can
+        peak_rss_kb = 0
+    print(json.dumps({
+        "wall_s": wall_s,
+        "records": len(result.records),
+        "digest": hashlib.sha256(payload.encode()).hexdigest(),
+        "peak_rss_kb": peak_rss_kb,
+        "health_ok": result.health.ok,
+    }))
+    return 0
+
+
+def _measure(args: argparse.Namespace, workers: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, str(Path(__file__).resolve()),
+        "--as-child",
+        "--campaign", args.campaign,
+        "--seed", str(args.seed),
+        "--transfers", str(args.transfers),
+        "--workers", str(workers),
+    ]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"child run (workers={workers}) failed")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--campaign", default="ISP_A-Quagga")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--transfers", type=int, default=6)
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker count of the parallel run (default: 4)",
+    )
+    parser.add_argument("--out", default="BENCH_campaign.json")
+    parser.add_argument(
+        "--assert-speedup", type=float, metavar="X",
+        help="exit nonzero unless parallel speedup >= X",
+    )
+    parser.add_argument(
+        "--as-child", action="store_true", help=argparse.SUPPRESS
+    )
+    args = parser.parse_args(argv)
+    if args.as_child:
+        return _child(args)
+
+    sys.path.insert(0, str(REPO_SRC))
+    from repro.exec.pool import available_parallelism
+
+    print(f"serial run: {args.campaign}, {args.transfers} transfers ...")
+    serial = _measure(args, workers=1)
+    print(f"  {serial['wall_s']:.1f}s, {serial['records']} records")
+    print(f"parallel run: workers={args.workers} ...")
+    parallel = _measure(args, workers=args.workers)
+    print(f"  {parallel['wall_s']:.1f}s, {parallel['records']} records")
+
+    identical = serial["digest"] == parallel["digest"]
+    speedup = serial["wall_s"] / parallel["wall_s"]
+    summary = {
+        "benchmark": "campaign",
+        "campaign": args.campaign,
+        "seed": args.seed,
+        "transfers": args.transfers,
+        "workers": args.workers,
+        "cpus": available_parallelism(),
+        "serial": {
+            "wall_s": round(serial["wall_s"], 3),
+            "transfers_per_s": round(serial["records"] / serial["wall_s"], 4),
+            "peak_rss_kb": serial["peak_rss_kb"],
+        },
+        "parallel": {
+            "wall_s": round(parallel["wall_s"], 3),
+            "transfers_per_s": round(
+                parallel["records"] / parallel["wall_s"], 4
+            ),
+            "peak_rss_kb": parallel["peak_rss_kb"],
+        },
+        "speedup": round(speedup, 3),
+        "identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
+    print(json.dumps(summary, indent=2))
+    print(f"summary -> {args.out}")
+
+    if not identical:
+        print("FAIL: parallel report differs from serial", file=sys.stderr)
+        return 1
+    if args.assert_speedup is not None and speedup < args.assert_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f} < required "
+            f"{args.assert_speedup:.2f} (cpus={summary['cpus']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,9 @@ import random
 
 from repro.analysis import (
     analyze_connection,
-    analyze_pcap,
     transfers_from_mrt_records,
 )
+from repro.api import Pipeline
 from repro.bgp import TimerBatchSender, generate_table
 from repro.core.units import seconds, to_milliseconds
 from repro.netsim import Simulator
@@ -51,7 +51,7 @@ def main() -> None:
     transfer = transfers_from_mrt_records(
         setup.collector.archive, connection_start_us=0
     )
-    report = analyze_pcap(setup.sniffer.sorted_records())
+    report = Pipeline().analyze(setup.sniffer.sorted_records())
     analysis = analyze_connection(
         next(iter(report)).connection, window=(0, transfer.end_us)
     )

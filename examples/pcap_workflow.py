@@ -19,7 +19,7 @@ import random
 import tempfile
 from pathlib import Path
 
-from repro.analysis import analyze_connection, analyze_pcap, minimum_collection_time
+from repro.analysis import analyze_connection, minimum_collection_time
 from repro.analysis.profile import Trace
 from repro.bgp import generate_table
 from repro.bgp.mrt import read_mrt

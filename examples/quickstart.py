@@ -18,9 +18,9 @@ from pathlib import Path
 
 from repro.analysis import (
     analyze_connection,
-    analyze_pcap,
     transfers_from_mrt_records,
 )
+from repro.api import Pipeline
 from repro.bgp import generate_table
 from repro.core.units import seconds
 from repro.netsim import Simulator
@@ -54,7 +54,7 @@ def main() -> None:
     )
     print(f"MCT: transfer duration {transfer.duration_us / 1e6:.2f}s\n")
 
-    report = analyze_pcap(pcap_path)
+    report = Pipeline().analyze(pcap_path)
     for analysis in report:
         clipped = analyze_connection(
             analysis.connection, window=(0, transfer.end_us)

@@ -18,15 +18,16 @@ from collections import Counter
 from pathlib import Path
 
 from repro.analysis.factors import FACTORS
+from repro.api import Pipeline
 from repro.tools.report import render_markdown
-from repro.workloads import isp_quagga_config, run_campaign
+from repro.workloads import isp_quagga_config
 
 
 def main() -> None:
     config = isp_quagga_config(transfers=12)
     print(f"running campaign {config.name}: {config.transfers} transfers, "
           f"{config.routers} routers...\n")
-    result = run_campaign(config)
+    result = Pipeline(workers=2).campaign(config)
 
     print(f"{'transfer':>9s} {'pathology':18s} {'dur(s)':>8s} "
           f"{'Rs':>5s} {'Rr':>5s} {'Rn':>5s}  major")

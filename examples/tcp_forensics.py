@@ -18,7 +18,8 @@ Run:  python examples/tcp_forensics.py
 
 import random
 
-from repro.analysis import analyze_pcap, extract_flow_clock, infer_tcp_flavor
+from repro.analysis import extract_flow_clock, infer_tcp_flavor
+from repro.api import Pipeline
 from repro.bgp import TimerBatchSender, generate_table
 from repro.core.units import seconds
 from repro.netsim import CountedLoss, Simulator
@@ -48,7 +49,7 @@ def capture(flavor=None, timer_ms=None, single_loss=False, seed=5):
     )
     setup.start()
     sim.run(until_us=seconds(300))
-    report = analyze_pcap(setup.sniffer.sorted_records(), min_data_packets=2)
+    report = Pipeline().analyze(setup.sniffer.sorted_records(), min_data_packets=2)
     return next(iter(report))
 
 

@@ -9,7 +9,8 @@ regenerating the paper's tables and figures.
 
 Quick start::
 
-    from repro import netsim, bgp, workloads, analysis
+    from repro import netsim, bgp, workloads
+    from repro.api import Pipeline
 
     sim = netsim.Simulator()
     setup = workloads.MonitoringSetup(sim)
@@ -19,15 +20,29 @@ Quick start::
     ))
     setup.start()
     sim.run(until_us=60_000_000)
-    report = analysis.analyze_pcap(setup.sniffer.sorted_records())
+    report = Pipeline().analyze(setup.sniffer.sorted_records())
 """
 
-from repro import analysis, bgp, capture, core, netsim, tcp, tools, wire, workloads
+from repro import (
+    analysis,
+    api,
+    bgp,
+    capture,
+    core,
+    exec,
+    netsim,
+    tcp,
+    tools,
+    wire,
+    workloads,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
+    "api",
+    "exec",
     "bgp",
     "capture",
     "core",

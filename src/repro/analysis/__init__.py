@@ -54,10 +54,28 @@ from repro.analysis.tdat import (
     ConnectionAnalysis,
     TdatReport,
     analyze_connection,
-    analyze_pcap,
 )
 from repro.analysis.voids import CaptureVoidReport, find_capture_voids
 from repro.core.health import IngestError, IngestIssue, TraceHealth
+
+
+def __getattr__(name: str):
+    # Deprecated re-export: the supported entry point is the
+    # repro.api facade (engine code imports repro.analysis.tdat).
+    if name == "analyze_pcap":
+        import warnings
+
+        from repro.analysis.tdat import analyze_pcap
+
+        warnings.warn(
+            "importing analyze_pcap from repro.analysis is deprecated; "
+            "use repro.api.Pipeline().analyze(...) or import it from "
+            "repro.analysis.tdat",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return analyze_pcap
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "IngestError",

@@ -15,6 +15,7 @@ seen), following Jaiswal et al.
 from __future__ import annotations
 
 import statistics
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import BinaryIO
@@ -23,7 +24,7 @@ from repro.bgp.messages import HEADER_LEN as BGP_HEADER_LEN
 from repro.bgp.messages import MARKER as BGP_MARKER
 from repro.core.health import STAGE_FRAME, TraceHealth
 from repro.wire import frames
-from repro.wire.pcap import PcapRecord, read_pcap
+from repro.wire.pcap import PcapReader, PcapRecord, read_pcap
 from repro.wire.tcpw import ACK, FIN, RST, SYN
 
 FlowKey = tuple[str, int, str, int]
@@ -404,24 +405,7 @@ class Trace:
                 )
                 continue
             trace.health.frames_decoded += 1
-            packet = TracePacket(
-                index=index,
-                timestamp_us=record.timestamp_us,
-                src_ip=parsed.ipv4.src,
-                src_port=parsed.tcp.src_port,
-                dst_ip=parsed.ipv4.dst,
-                dst_port=parsed.tcp.dst_port,
-                seq=parsed.tcp.seq,
-                ack=parsed.tcp.ack,
-                flags=parsed.tcp.flags,
-                window=parsed.tcp.window,
-                payload_len=len(parsed.tcp.payload),
-                wire_len=record.wire_length,
-                ip_id=parsed.ipv4.identification,
-                payload=parsed.tcp.payload,
-                mss_option=parsed.tcp.mss_option,
-                wscale_option=parsed.tcp.wscale_option,
-            )
+            packet = _packet_from_record(index, record, parsed)
             key = canonical_key(
                 parsed.ipv4.src,
                 parsed.tcp.src_port,
@@ -442,6 +426,147 @@ class Trace:
 
     def __iter__(self):
         return iter(self.connections.values())
+
+
+def _packet_from_record(
+    index: int, record: PcapRecord, parsed
+) -> TracePacket:
+    """Flatten one decoded frame into the analyzer's packet form."""
+    return TracePacket(
+        index=index,
+        timestamp_us=record.timestamp_us,
+        src_ip=parsed.ipv4.src,
+        src_port=parsed.tcp.src_port,
+        dst_ip=parsed.ipv4.dst,
+        dst_port=parsed.tcp.dst_port,
+        seq=parsed.tcp.seq,
+        ack=parsed.tcp.ack,
+        flags=parsed.tcp.flags,
+        window=parsed.tcp.window,
+        payload_len=len(parsed.tcp.payload),
+        wire_len=record.wire_length,
+        ip_id=parsed.ipv4.identification,
+        payload=parsed.tcp.payload,
+        mss_option=parsed.tcp.mss_option,
+        wscale_option=parsed.tcp.wscale_option,
+    )
+
+
+@dataclass
+class _OpenFlow:
+    """Streaming-ingest state of one not-yet-finalized connection."""
+
+    connection: Connection
+    last_ts_us: int = 0
+    fin_from: set = field(default_factory=set)
+    saw_rst: bool = False
+
+    @property
+    def closable(self) -> bool:
+        """Both sides said FIN (or someone said RST): no data expected.
+
+        The flow is still held open for a linger period so trailing
+        ACKs and retransmitted FINs land in the connection instead of
+        after its finalization.
+        """
+        return self.saw_rst or len(self.fin_from) >= 2
+
+
+#: how long after its last packet a closed flow lingers before being
+#: finalized (covers the final ACK of the FIN exchange and stragglers).
+DEFAULT_LINGER_US = 2_000_000
+
+
+def iter_connections(
+    source: BinaryIO | str | Path | list[PcapRecord],
+    health: TraceHealth | None = None,
+    tolerant: bool = False,
+    linger_us: int = DEFAULT_LINGER_US,
+) -> Iterator[Connection]:
+    """Stream finalized connections out of a capture, flow by flow.
+
+    The buffered path (:meth:`Trace.from_pcap`) holds every parsed
+    frame of every connection until the file ends; this iterator
+    finalizes and yields each connection as soon as its flow has closed
+    (FINs from both sides or an RST) and stayed quiet for
+    ``linger_us``, so peak memory is bounded by the *open* flows, not
+    the whole capture.  Per-connection results are identical to the
+    buffered path for captures whose flows close cleanly; a packet
+    arriving for an already-emitted flow is dropped and accounted in
+    ``health`` rather than resurrecting the connection.
+    """
+    health = health if health is not None else TraceHealth()
+    reader: PcapReader | None = None
+    if isinstance(source, list):
+        records: Iterator[PcapRecord] = iter(source)
+        reader_counts = False
+    else:
+        reader = PcapReader(source, tolerant=tolerant, health=health)
+        records = iter(reader)
+        reader_counts = True
+    open_flows: dict[FlowKey, _OpenFlow] = {}
+    emitted: set[FlowKey] = set()
+    try:
+        for index, record in enumerate(records):
+            if not reader_counts:
+                health.records_read += 1
+            try:
+                parsed = frames.parse_frame(record.data)
+            except (frames.FrameError, ValueError) as exc:
+                health.record(
+                    STAGE_FRAME, "undecodable-frame",
+                    timestamp_us=record.timestamp_us,
+                    bytes_lost=record.captured_length,
+                    detail=str(exc),
+                    benign=True,
+                )
+                continue
+            health.frames_decoded += 1
+            key = canonical_key(
+                parsed.ipv4.src,
+                parsed.tcp.src_port,
+                parsed.ipv4.dst,
+                parsed.tcp.dst_port,
+            )
+            # Sweep flows whose close has lingered long enough.
+            now = record.timestamp_us
+            for other_key in list(open_flows):
+                flow = open_flows[other_key]
+                if (
+                    other_key != key
+                    and flow.closable
+                    and now - flow.last_ts_us > linger_us
+                ):
+                    del open_flows[other_key]
+                    emitted.add(other_key)
+                    flow.connection.finalize()
+                    yield flow.connection
+            if key in emitted:
+                health.record(
+                    STAGE_FRAME, "packet-after-close",
+                    timestamp_us=record.timestamp_us,
+                    bytes_lost=len(parsed.tcp.payload),
+                    detail=f"{key}: flow already finalized and emitted",
+                    benign=True,
+                )
+                continue
+            packet = _packet_from_record(index, record, parsed)
+            flow = open_flows.get(key)
+            if flow is None:
+                flow = _OpenFlow(connection=Connection(key))
+                open_flows[key] = flow
+            flow.connection.add(packet)
+            flow.last_ts_us = record.timestamp_us
+            if packet.is_fin:
+                flow.fin_from.add(packet.src_ip)
+            if packet.is_rst:
+                flow.saw_rst = True
+        for flow in open_flows.values():
+            flow.connection.finalize()
+            yield flow.connection
+    finally:
+        if reader is not None:
+            reader.close()
 
 
 def canonical_key(

@@ -23,7 +23,12 @@ from repro.analysis.detectors import (
 )
 from repro.analysis.factors import FactorReport, classify
 from repro.analysis.labeling import LabelingResult, label_connection
-from repro.analysis.profile import Connection, FlowKey, Trace
+from repro.analysis.profile import (
+    Connection,
+    FlowKey,
+    Trace,
+    iter_connections,
+)
 from repro.analysis.series import (
     SNIFFER_AT_RECEIVER,
     ConnectionSeries,
@@ -31,7 +36,8 @@ from repro.analysis.series import (
     generate_series,
 )
 from repro.analysis.voids import CaptureVoidReport, find_capture_voids
-from repro.core.health import STAGE_ANALYSIS, TraceHealth
+from repro.core.health import IngestError, STAGE_ANALYSIS, TraceHealth
+from repro.exec.pool import WorkPool, task_context
 from repro.wire.pcap import PcapRecord
 
 
@@ -106,6 +112,31 @@ def analyze_connection(
     )
 
 
+def _record_analysis_failure(
+    health: TraceHealth, connection: Connection, summary: str
+) -> None:
+    """Account one contained per-connection analysis crash."""
+    profile = connection.profile
+    health.record(
+        STAGE_ANALYSIS, "connection-analysis-failed",
+        timestamp_us=profile.start_time_us if profile else None,
+        bytes_lost=profile.total_data_bytes if profile else 0,
+        detail=f"{connection.key}: {summary}",
+    )
+
+
+def _analyze_connection_task(
+    item: tuple[Connection, tuple[int, int] | None]
+) -> ConnectionAnalysis:
+    """Work-pool task: one connection through the full pipeline.
+
+    The shared :class:`SeriesConfig` travels as the pool context so it
+    is shipped once per worker, not once per connection.
+    """
+    connection, window = item
+    return analyze_connection(connection, window=window, config=task_context())
+
+
 def analyze_pcap(
     source: BinaryIO | str | Path | list[PcapRecord],
     sniffer_location: str = SNIFFER_AT_RECEIVER,
@@ -114,6 +145,9 @@ def analyze_pcap(
     min_data_packets: int = 2,
     strict: bool = False,
     health: TraceHealth | None = None,
+    workers: int = 1,
+    streaming: bool = False,
+    pool: WorkPool | None = None,
 ) -> TdatReport:
     """Analyze every TCP connection in a capture.
 
@@ -129,14 +163,116 @@ def analyze_pcap(
     damaged pcap structure or a crashed per-connection analysis raises
     instead of degrading (undecodable individual frames remain benign
     skips — real captures always contain some ARP/LLDP).
+
+    Two execution knobs, both result-preserving:
+
+    * ``streaming=True`` finalizes and analyzes each flow as it closes
+      instead of parsing the whole capture first, bounding ingest
+      memory by the *open* flows (see
+      :func:`~repro.analysis.profile.iter_connections` and
+      :func:`iter_analyze_pcap` for the incremental form);
+    * ``workers=N`` (or an explicit ``pool``) fans the per-connection
+      pipeline runs of a multi-connection capture out across worker
+      processes.  Analyses come back in the same order the serial path
+      produces, so reports are identical.
     """
     if config is None:
         config = SeriesConfig(sniffer_location=sniffer_location)
     if health is None:
         health = TraceHealth(strict=strict)
-    trace = Trace.from_pcap(source, health=health, tolerant=not strict)
     report = TdatReport(health=health)
-    for connection in trace:
+    if pool is None:
+        pool = WorkPool(workers=workers)
+    parallel = pool.workers > 1
+
+    if streaming and not parallel:
+        for analysis in _analyze_stream(
+            source, report, windows=windows, config=config,
+            min_data_packets=min_data_packets, strict=strict, health=health,
+        ):
+            report.analyses[analysis.key] = analysis
+        _restore_capture_order(report)
+        return report
+
+    if streaming:
+        # Parallel + streaming: ingest incrementally (bounded by open
+        # flows), then batch the eligible connections through the pool.
+        connections = iter_connections(source, health=health, tolerant=not strict)
+    else:
+        connections = iter(Trace.from_pcap(source, health=health, tolerant=not strict))
+
+    eligible: list[tuple[Connection, tuple[int, int] | None]] = []
+    for connection in connections:
+        if connection.profile is None or (
+            connection.profile.total_data_packets < min_data_packets
+        ):
+            report.skipped_connections += 1
+            continue
+        window = windows.get(connection.key) if windows else None
+        eligible.append((connection, window))
+
+    if not parallel:
+        for connection, window in eligible:
+            try:
+                report.analyses[connection.key] = analyze_connection(
+                    connection, window=window, config=config
+                )
+            except Exception as exc:
+                if strict:
+                    raise
+                # Contain the blast radius to one connection: record
+                # what was lost and keep analyzing the rest.
+                report.skipped_connections += 1
+                _record_analysis_failure(
+                    health, connection, f"{type(exc).__name__}: {exc}"
+                )
+    else:
+        outcomes = pool.map(_analyze_connection_task, eligible, context=config)
+        for (connection, _), outcome in zip(eligible, outcomes):
+            if outcome.ok:
+                report.analyses[connection.key] = outcome.value
+                continue
+            if strict:
+                raise IngestError(
+                    f"{connection.key}: analysis crashed in worker: "
+                    f"{outcome.error}"
+                )
+            report.skipped_connections += 1
+            _record_analysis_failure(health, connection, str(outcome.error))
+    if streaming:
+        _restore_capture_order(report)
+    return report
+
+
+def _restore_capture_order(report: TdatReport) -> None:
+    """Reorder analyses to first-appearance order of their connections.
+
+    Streaming ingest yields flows in *close* order; the buffered path
+    iterates them in first-packet order.  Reports must not depend on
+    the execution mode, so streaming results are put back in capture
+    order (every connection holds its packets, so the order is exact).
+    """
+    report.analyses = dict(
+        sorted(
+            report.analyses.items(),
+            key=lambda item: item[1].connection.packets[0].index,
+        )
+    )
+
+
+def _analyze_stream(
+    source: BinaryIO | str | Path | list[PcapRecord],
+    report: TdatReport,
+    windows: dict[FlowKey, tuple[int, int]] | None,
+    config: SeriesConfig,
+    min_data_packets: int,
+    strict: bool,
+    health: TraceHealth,
+):
+    """Yield analyses one flow at a time, updating ``report`` counters."""
+    for connection in iter_connections(
+        source, health=health, tolerant=not strict
+    ):
         if connection.profile is None or (
             connection.profile.total_data_packets < min_data_packets
         ):
@@ -144,20 +280,39 @@ def analyze_pcap(
             continue
         window = windows.get(connection.key) if windows else None
         try:
-            report.analyses[connection.key] = analyze_connection(
-                connection, window=window, config=config
-            )
+            yield analyze_connection(connection, window=window, config=config)
         except Exception as exc:
             if strict:
                 raise
-            # Contain the blast radius to one connection: record what
-            # was lost and keep analyzing the rest of the capture.
             report.skipped_connections += 1
-            profile = connection.profile
-            health.record(
-                STAGE_ANALYSIS, "connection-analysis-failed",
-                timestamp_us=profile.start_time_us if profile else None,
-                bytes_lost=profile.total_data_bytes if profile else 0,
-                detail=f"{connection.key}: {type(exc).__name__}: {exc}",
+            _record_analysis_failure(
+                health, connection, f"{type(exc).__name__}: {exc}"
             )
-    return report
+
+
+def iter_analyze_pcap(
+    source: BinaryIO | str | Path | list[PcapRecord],
+    sniffer_location: str = SNIFFER_AT_RECEIVER,
+    windows: dict[FlowKey, tuple[int, int]] | None = None,
+    config: SeriesConfig | None = None,
+    min_data_packets: int = 2,
+    strict: bool = False,
+    health: TraceHealth | None = None,
+):
+    """The incremental form of :func:`analyze_pcap`.
+
+    Yields each connection's :class:`ConnectionAnalysis` the moment its
+    flow closes, in close order.  The caller owns each analysis as it
+    arrives and may discard it, so a capture of thousands of sequential
+    transfers can be analyzed in bounded memory — the use case behind
+    the paper's multi-week monitoring traces.
+    """
+    if config is None:
+        config = SeriesConfig(sniffer_location=sniffer_location)
+    if health is None:
+        health = TraceHealth(strict=strict)
+    throwaway = TdatReport(health=health)
+    yield from _analyze_stream(
+        source, throwaway, windows=windows, config=config,
+        min_data_packets=min_data_packets, strict=strict, health=health,
+    )

@@ -1,0 +1,227 @@
+"""The stable entry point: one facade over the whole T-DAT pipeline.
+
+Everything the repo can do — analyze a capture, reconstruct BGP
+streams, run a measurement campaign — is reachable through a
+:class:`Pipeline` carrying the execution knobs (``workers``,
+``strict``, ``streaming``, ``seed``) once, instead of threading them
+through every call::
+
+    from repro.api import Pipeline
+
+    pipe = Pipeline(workers=4)
+    report = pipe.analyze("trace.pcap")
+    result = pipe.campaign("ISP_A-Quagga", transfers=10)
+
+Requests can also be built as data and executed later (the CLI and the
+benchmark harness do this)::
+
+    from repro.api import AnalysisRequest, CampaignRequest, Pipeline
+
+    req = CampaignRequest(name="RV", transfers=8, seed=3)
+    result = Pipeline(workers=2).run(req)
+
+The engine modules (``repro.analysis.tdat``, ``repro.workloads.campaign``,
+``repro.tools.pcap2bgp``, ``repro.exec.pool``) stay importable for code
+that needs the full surface; this facade is the supported subset whose
+signatures will not churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, BinaryIO, Iterator
+
+from repro.analysis.profile import FlowKey
+from repro.analysis.series import SNIFFER_AT_RECEIVER, SeriesConfig
+from repro.analysis.tdat import (
+    ConnectionAnalysis,
+    TdatReport,
+    analyze_pcap,
+    iter_analyze_pcap,
+)
+from repro.core.health import TraceHealth
+from repro.exec.pool import WorkPool, available_parallelism
+from repro.tools.pcap2bgp import StreamResult, pcap_to_bgp
+from repro.wire.pcap import PcapRecord
+from repro.workloads.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    campaign_config,
+    run_campaign,
+)
+
+@dataclass
+class AnalysisRequest:
+    """One capture to analyze, plus the knobs that shape the run."""
+
+    source: BinaryIO | str | Path | list[PcapRecord]
+    sniffer_location: str = SNIFFER_AT_RECEIVER
+    windows: dict[FlowKey, tuple[int, int]] | None = None
+    config: SeriesConfig | None = None
+    min_data_packets: int = 2
+    strict: bool | None = None  # None → inherit from the Pipeline
+    streaming: bool | None = None
+    workers: int | None = None
+
+
+@dataclass
+class CampaignRequest:
+    """One campaign to run: a registry name or an explicit config."""
+
+    name: str | None = None
+    config: CampaignConfig | None = None
+    seed: int | None = None
+    transfers: int | None = None
+    strict: bool | None = None
+    workers: int | None = None
+    overrides: dict[str, Any] = field(default_factory=dict)
+
+    def resolve(self) -> CampaignConfig:
+        """Build the concrete :class:`CampaignConfig` this request names."""
+        if (self.name is None) == (self.config is None):
+            raise ValueError(
+                "CampaignRequest needs exactly one of `name` or `config`"
+            )
+        if self.config is not None:
+            config = self.config
+            if self.seed is not None or self.transfers is not None:
+                changes = {}
+                if self.seed is not None:
+                    changes["seed"] = self.seed
+                if self.transfers is not None:
+                    changes["transfers"] = self.transfers
+                config = replace(config, **changes)
+        else:
+            kwargs: dict[str, Any] = {}
+            if self.seed is not None:
+                kwargs["seed"] = self.seed
+            if self.transfers is not None:
+                kwargs["transfers"] = self.transfers
+            config = campaign_config(self.name, **kwargs)
+        if self.overrides:
+            config = replace(config, **self.overrides)
+        return config
+
+
+@dataclass
+class Pipeline:
+    """Execution context shared by every request run through it.
+
+    ``workers=0`` means "use every available CPU".  One
+    :class:`~repro.exec.pool.WorkPool` is built lazily and reused, so a
+    campaign and its follow-up analyses share worker processes.
+    """
+
+    workers: int = 1
+    strict: bool = False
+    streaming: bool = False
+    seed: int | None = None
+    _pool: WorkPool | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.workers == 0:
+            self.workers = available_parallelism()
+
+    @property
+    def pool(self) -> WorkPool:
+        if self._pool is None:
+            self._pool = WorkPool(workers=self.workers)
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    # Analysis                                                           #
+    # ------------------------------------------------------------------ #
+    def analyze(
+        self,
+        source: BinaryIO | str | Path | list[PcapRecord],
+        **knobs,
+    ) -> TdatReport:
+        """Run T-DAT over every connection of a capture."""
+        return self.run(AnalysisRequest(source=source, **knobs))
+
+    def iter_analyze(
+        self,
+        source: BinaryIO | str | Path | list[PcapRecord],
+        **knobs,
+    ) -> Iterator[ConnectionAnalysis]:
+        """Yield each connection's analysis as its flow closes."""
+        request = AnalysisRequest(source=source, **knobs)
+        return iter_analyze_pcap(
+            request.source,
+            sniffer_location=request.sniffer_location,
+            windows=request.windows,
+            config=request.config,
+            min_data_packets=request.min_data_packets,
+            strict=self._knob(request.strict, self.strict),
+        )
+
+    def extract_bgp(
+        self,
+        source: BinaryIO | str | Path | list[PcapRecord],
+        min_data_packets: int = 1,
+        health: TraceHealth | None = None,
+    ) -> dict[tuple, StreamResult]:
+        """Reconstruct per-connection BGP message streams (pcap2bgp)."""
+        if health is None and not self.strict:
+            health = TraceHealth()
+        return pcap_to_bgp(
+            source, min_data_packets=min_data_packets, health=health
+        )
+
+    # ------------------------------------------------------------------ #
+    # Campaigns                                                          #
+    # ------------------------------------------------------------------ #
+    def campaign(
+        self,
+        name_or_config: str | CampaignConfig,
+        **knobs,
+    ) -> CampaignResult:
+        """Run a campaign by registry name or explicit config."""
+        if isinstance(name_or_config, CampaignConfig):
+            request = CampaignRequest(config=name_or_config, **knobs)
+        else:
+            request = CampaignRequest(name=name_or_config, **knobs)
+        return self.run(request)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch                                                           #
+    # ------------------------------------------------------------------ #
+    def run(self, request: AnalysisRequest | CampaignRequest):
+        """Execute a request built elsewhere (CLI, benchmarks, tests)."""
+        if isinstance(request, AnalysisRequest):
+            workers = self._knob(request.workers, self.workers)
+            return analyze_pcap(
+                request.source,
+                sniffer_location=request.sniffer_location,
+                windows=request.windows,
+                config=request.config,
+                min_data_packets=request.min_data_packets,
+                strict=self._knob(request.strict, self.strict),
+                streaming=self._knob(request.streaming, self.streaming),
+                pool=self.pool if workers == self.workers else WorkPool(workers=workers),
+            )
+        if isinstance(request, CampaignRequest):
+            if request.seed is None and self.seed is not None:
+                request = replace(request, seed=self.seed)
+            workers = self._knob(request.workers, self.workers)
+            return run_campaign(
+                request.resolve(),
+                strict=self._knob(request.strict, self.strict),
+                pool=self.pool if workers == self.workers else WorkPool(workers=workers),
+            )
+        raise TypeError(f"not a pipeline request: {request!r}")
+
+    @staticmethod
+    def _knob(value, default):
+        return default if value is None else value
+
+
+__all__ = [
+    "AnalysisRequest",
+    "CampaignRequest",
+    "Pipeline",
+    "TdatReport",
+    "CampaignResult",
+    "TraceHealth",
+]

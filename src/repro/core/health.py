@@ -20,14 +20,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-# Ingest stages, in pipeline order.
+# Ingest stages, in pipeline order.  ``exec`` sits after analysis: it
+# accounts whole work units (e.g. one campaign transfer) that crashed
+# inside a worker and were contained by the pool's fault isolation.
 STAGE_CAPTURE = "capture"
 STAGE_PCAP = "pcap"
 STAGE_FRAME = "frame"
 STAGE_BGP = "bgp"
 STAGE_ANALYSIS = "analysis"
+STAGE_EXEC = "exec"
 
-STAGES = (STAGE_CAPTURE, STAGE_PCAP, STAGE_FRAME, STAGE_BGP, STAGE_ANALYSIS)
+STAGES = (
+    STAGE_CAPTURE, STAGE_PCAP, STAGE_FRAME, STAGE_BGP, STAGE_ANALYSIS,
+    STAGE_EXEC,
+)
 
 
 class IngestError(ValueError):

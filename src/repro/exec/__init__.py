@@ -1,0 +1,25 @@
+"""Parallel execution substrate: the work pool behind campaigns."""
+
+from repro.exec.pool import (
+    BACKENDS,
+    MULTIPROCESSING,
+    SERIAL,
+    TaskError,
+    TaskOutcome,
+    WorkPool,
+    available_parallelism,
+    derive_seed,
+    task_context,
+)
+
+__all__ = [
+    "BACKENDS",
+    "MULTIPROCESSING",
+    "SERIAL",
+    "TaskError",
+    "TaskOutcome",
+    "WorkPool",
+    "available_parallelism",
+    "derive_seed",
+    "task_context",
+]

@@ -1,0 +1,203 @@
+"""The campaign/analysis work pool: fan out independent tasks.
+
+The paper's evaluation is a population study — hundreds of table
+transfers per campaign — and every transfer is an independent unit of
+work: simulate (or read) a capture, run the T-DAT pipeline, emit a
+record.  :class:`WorkPool` executes such units either serially
+in-process (``workers=1``, the default) or across ``workers`` OS
+processes, with three guarantees the campaign layer builds on:
+
+* **determinism** — outcomes come back in submission order and every
+  task derives its randomness from its own seed (see
+  :func:`derive_seed`), so a parallel run is byte-identical to the
+  serial one;
+* **fault isolation** — a task that raises does not kill the pool or
+  the sibling tasks: its exception is captured as a structured
+  :class:`TaskError` in the returned :class:`TaskOutcome`, for the
+  caller to fold into a :class:`~repro.core.health.TraceHealth` ledger;
+* **cheap task payloads** — bulky shared inputs (a campaign's spec
+  list, an analysis configuration) travel once per worker as the pool
+  *context*, never once per task: inherited for free under the
+  ``fork`` start method, pickled once per worker under ``spawn``.
+
+Task functions must be module-level callables (picklable by reference)
+and read the shared input via :func:`task_context`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import traceback
+import warnings
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+SERIAL = "serial"
+MULTIPROCESSING = "multiprocessing"
+BACKENDS = (SERIAL, MULTIPROCESSING)
+
+
+def available_parallelism() -> int:
+    """CPUs actually usable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def derive_seed(master_seed: int, task: str) -> int:
+    """A task's own RNG seed, derived from the campaign master seed.
+
+    Uses the same SHA-256 construction as
+    :class:`~repro.netsim.random.RandomStreams`, so adding or reordering
+    tasks never perturbs the draws of existing ones — the property that
+    makes parallel and serial campaign runs byte-identical.
+    """
+    digest = hashlib.sha256(f"{master_seed}:{task}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """A captured task exception, picklable across process boundaries."""
+
+    kind: str  # exception type name
+    message: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+@dataclass
+class TaskOutcome:
+    """What one task produced: a value, or a contained failure."""
+
+    index: int
+    value: Any = None
+    error: TaskError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+# The per-process shared input.  In worker processes it is installed by
+# the pool initializer (inherited under fork, pickled once under
+# spawn); in serial mode WorkPool.map sets it around the task loop.
+_TASK_CONTEXT: Any = None
+
+
+def task_context() -> Any:
+    """The context object passed to :meth:`WorkPool.map`, if any."""
+    return _TASK_CONTEXT
+
+
+def _install_context(context: Any) -> None:
+    global _TASK_CONTEXT
+    _TASK_CONTEXT = context
+
+
+def _run_one(payload: tuple[Callable[[Any], Any], int, Any]) -> TaskOutcome:
+    """Execute one task, containing any exception it raises."""
+    fn, index, item = payload
+    try:
+        return TaskOutcome(index=index, value=fn(item))
+    except BaseException as exc:  # noqa: BLE001 - isolation is the point
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return TaskOutcome(
+            index=index,
+            error=TaskError(
+                kind=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback.format_exc(),
+            ),
+        )
+
+
+class WorkPool:
+    """Execute independent tasks serially or across worker processes.
+
+    ``workers <= 1`` selects the serial backend (no subprocesses, no
+    pickling); ``workers > 1`` the multiprocessing backend.  When
+    process creation is unavailable (restricted sandboxes), the pool
+    degrades to serial execution with a warning rather than failing —
+    results are identical either way.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        start_method: str | None = None,
+        chunksize: int = 1,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.chunksize = max(1, int(chunksize))
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+
+    @property
+    def backend(self) -> str:
+        return SERIAL if self.workers <= 1 else MULTIPROCESSING
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        context: Any = None,
+    ) -> list[TaskOutcome]:
+        """Run ``fn`` over ``items``; outcomes in submission order.
+
+        ``fn`` must be a module-level callable when the pool is
+        parallel.  ``context`` is made available to every task via
+        :func:`task_context` — shipped once per worker, not per task.
+        """
+        payloads = [(fn, i, item) for i, item in enumerate(items)]
+        if self.workers <= 1 or len(payloads) <= 1:
+            return self._map_serial(payloads, context)
+        try:
+            return self._map_parallel(payloads, context)
+        except (OSError, ImportError) as exc:
+            warnings.warn(
+                f"multiprocessing unavailable ({exc}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._map_serial(payloads, context)
+
+    def _map_serial(
+        self, payloads: Sequence[tuple], context: Any
+    ) -> list[TaskOutcome]:
+        _install_context(context)
+        try:
+            return [_run_one(payload) for payload in payloads]
+        finally:
+            _install_context(None)
+
+    def _map_parallel(
+        self, payloads: Sequence[tuple], context: Any
+    ) -> list[TaskOutcome]:
+        ctx = multiprocessing.get_context(self.start_method)
+        processes = min(self.workers, len(payloads))
+        with ctx.Pool(
+            processes=processes,
+            initializer=_install_context,
+            initargs=(context,),
+        ) as pool:
+            outcomes = pool.map(_run_one, payloads, chunksize=self.chunksize)
+        # Pool.map preserves submission order; assert the contract the
+        # campaign layer's determinism rests on.
+        for position, outcome in enumerate(outcomes):
+            if outcome.index != position:
+                raise RuntimeError(
+                    "work pool returned outcomes out of order "
+                    f"({outcome.index} at position {position})"
+                )
+        return outcomes

@@ -14,7 +14,6 @@ from repro.tools.correlate import (
 )
 from repro.tools.pcap2bgp import (
     StreamingPcap2Bgp,
-    pcap_to_bgp,
     pcap_to_mrt,
     reconstruct_stream,
 )
@@ -26,6 +25,25 @@ from repro.tools.report import (
     render_markdown,
 )
 from repro.tools.tcptrace_lite import ConnectionSummary, format_report, summarize
+
+
+def __getattr__(name: str):
+    # Deprecated re-export: the supported entry point is the
+    # repro.api facade (engine code imports repro.tools.pcap2bgp).
+    if name == "pcap_to_bgp":
+        import warnings
+
+        from repro.tools.pcap2bgp import pcap_to_bgp
+
+        warnings.warn(
+            "importing pcap_to_bgp from repro.tools is deprecated; "
+            "use repro.api.Pipeline().extract_bgp(...) or import it from "
+            "repro.tools.pcap2bgp",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return pcap_to_bgp
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ConnectionSummary",

@@ -1,258 +1,70 @@
-"""Command-line entry points for the analysis tool suite.
+"""Legacy console-script entry points, now shims over ``tdat``.
 
-Installed as console scripts (see ``pyproject.toml``):
-
-* ``tdat <trace.pcap>`` — full delay analysis of every connection;
-* ``pcap2bgp <trace.pcap> <out.mrt>`` — reconstruct BGP messages;
-* ``tcptrace-lite <trace.pcap>`` — connection summaries;
-* ``bgplot <trace.pcap>`` — square-wave panels / CSV export.
-
-All tools degrade gracefully on operational input: a missing file or a
-trace too damaged to read produces a one-line error on stderr and exit
-code 2, never a traceback.  ``tdat`` additionally reports everything
-its tolerant ingest had to drop (the :class:`TraceHealth` ledger) and
-exits with code 3 when the capture was readable but damaged; pass
-``--strict`` to restore fail-fast behaviour.
-
-Exit codes: 0 success, 1 nothing to analyze, 2 error, 3 success with
-recorded ingest issues (``tdat`` only).
+The tool suite consolidated into one ``tdat`` command with subcommands
+(:mod:`repro.tools.tdat_cli`).  The historical script names —
+``pcap2bgp``, ``tcptrace-lite``, ``bgplot``, ``pcap-anonymize`` and the
+subcommand-less ``tdat <trace.pcap>`` — keep working through these
+wrappers, which simply prepend the matching subcommand and delegate.
+Error discipline and exit codes are unchanged: one-line errors on
+stderr, 0 success, 1 nothing to analyze, 2 error, 3 success with
+recorded ingest issues.
 """
 
 from __future__ import annotations
 
-import argparse
-import functools
-import json
 import sys
 
-from repro.analysis.series import (
-    SNIFFER_AT_RECEIVER,
-    SNIFFER_AT_SENDER,
-    SNIFFER_IN_MIDDLE,
+from repro.tools.tdat_cli import (
+    EXIT_ERROR,
+    EXIT_ISSUES,
+    EXIT_NOTHING,
+    EXIT_OK,
+    _analysis_to_dict,
+    main,
 )
-from repro.analysis.tdat import analyze_pcap
-from repro.core.health import IngestError
-from repro.tools import bgplot, pcap2bgp, tcptrace_lite
-from repro.wire.pcap import PcapError
 
-_LOCATIONS = [SNIFFER_AT_RECEIVER, SNIFFER_AT_SENDER, SNIFFER_IN_MIDDLE]
-
-EXIT_OK = 0
-EXIT_NOTHING = 1
-EXIT_ERROR = 2
-EXIT_ISSUES = 3
-
-
-def _guarded(func):
-    """Turn ingest failures into one-line errors + exit code 2.
-
-    Every entry point runs under this guard so operational mishaps —
-    a missing trace, a non-pcap file, a capture damaged beyond what
-    the tolerant reader can salvage, a decode failure — end in a
-    diagnostic on stderr and a nonzero status, never a traceback.
-    """
-
-    @functools.wraps(func)
-    def wrapper(argv: list[str] | None = None) -> int:
-        prog = func.__name__.removesuffix("_main").replace("_", "-")
-        try:
-            return func(argv)
-        except FileNotFoundError as exc:
-            name = getattr(exc, "filename", None) or exc
-            print(f"{prog}: error: no such file: {name}", file=sys.stderr)
-            return EXIT_ERROR
-        except IsADirectoryError as exc:
-            print(f"{prog}: error: is a directory: {exc.filename}",
-                  file=sys.stderr)
-            return EXIT_ERROR
-        except (PcapError, IngestError, ValueError, OSError) as exc:
-            print(f"{prog}: error: {exc}", file=sys.stderr)
-            return EXIT_ERROR
-
-    return wrapper
+__all__ = [
+    "EXIT_ERROR",
+    "EXIT_ISSUES",
+    "EXIT_NOTHING",
+    "EXIT_OK",
+    "anonymize_main",
+    "bgplot_main",
+    "main",
+    "pcap2bgp_main",
+    "tcptrace_main",
+    "tdat_main",
+]
 
 
-@_guarded
+def _delegate(subcommand: str, argv: list[str] | None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    return main([subcommand, *argv])
+
+
 def tdat_main(argv: list[str] | None = None) -> int:
     """Analyze a pcap trace and print the delay report."""
-    parser = argparse.ArgumentParser(
-        prog="tdat", description="TCP Delay Analysis Tool"
-    )
-    parser.add_argument("pcap", help="input pcap trace")
-    parser.add_argument(
-        "--sniffer-location",
-        choices=_LOCATIONS,
-        default=SNIFFER_AT_RECEIVER,
-        help="where the capture was taken (default: receiver)",
-    )
-    parser.add_argument(
-        "--width", type=int, default=100, help="square-wave panel width"
-    )
-    parser.add_argument(
-        "--json", action="store_true",
-        help="emit machine-readable JSON instead of text panels",
-    )
-    parser.add_argument(
-        "--strict", action="store_true",
-        help="fail fast on damaged input instead of degrading gracefully",
-    )
-    args = parser.parse_args(argv)
-    report = analyze_pcap(
-        args.pcap, sniffer_location=args.sniffer_location, strict=args.strict
-    )
-    issues = not report.health.ok
-    if not len(report):
-        if issues:
-            print(report.health.summary(), file=sys.stderr)
-        print("no analyzable TCP connections found", file=sys.stderr)
-        return EXIT_NOTHING
-    if args.json:
-        payload = {
-            "connections": [_analysis_to_dict(a) for a in report],
-            "health": report.health.to_dict(),
-        }
-        print(json.dumps(payload, indent=2))
-    else:
-        for analysis in report:
-            print(bgplot.render_analysis(analysis, width=args.width))
-            print()
-        if issues:
-            print(report.health.summary(), file=sys.stderr)
-    return EXIT_ISSUES if issues else EXIT_OK
+    # No subcommand prefix: ``main`` maps a bare trace to ``analyze``
+    # itself, and flags like ``--help`` should hit the top-level parser.
+    return main(argv)
 
 
-def _analysis_to_dict(analysis) -> dict:
-    """Flatten one connection's analysis for JSON output."""
-    profile = analysis.connection.profile
-    src, sport, dst, dport = analysis.connection.key
-    rs, rr, rn = analysis.factors.group_vector
-    return {
-        "connection": f"{src}:{sport}<->{dst}:{dport}",
-        "sender": analysis.connection.sender_ip,
-        "profile": {
-            "mss": profile.mss,
-            "rtt_us": profile.rtt_us,
-            "d1_us": profile.d1_us,
-            "d2_us": profile.d2_us,
-            "max_advertised_window": profile.max_advertised_window,
-            "data_packets": profile.total_data_packets,
-            "data_bytes": profile.total_data_bytes,
-            "duration_us": profile.duration_us,
-        },
-        "retransmissions": len(analysis.labeling.retransmissions()),
-        "factors": {
-            "ratios": analysis.factors.ratios,
-            "groups": {"sender": rs, "receiver": rr, "network": rn},
-            "major": analysis.factors.major_factors(),
-        },
-        "detectors": {
-            "timer_gaps": {
-                "detected": analysis.timer_gaps.detected,
-                "timer_us": analysis.timer_gaps.timer_us,
-                "induced_delay_us": analysis.timer_gaps.induced_delay_us,
-            },
-            "consecutive_losses": {
-                "detected": analysis.consecutive_losses.detected,
-                "episodes": analysis.consecutive_losses.episodes,
-                "worst_run": analysis.consecutive_losses.worst_run,
-                "induced_delay_us": analysis.consecutive_losses.induced_delay_us,
-            },
-            "zero_ack_bug": {
-                "detected": analysis.zero_ack_bug.detected,
-                "occurrences": analysis.zero_ack_bug.occurrences,
-            },
-            "capture_voids": {
-                "detected": analysis.capture_voids.detected,
-                "phantom_bytes": analysis.capture_voids.phantom_bytes,
-                "excluded_us": analysis.capture_voids.excluded_us,
-            },
-        },
-    }
-
-
-@_guarded
 def pcap2bgp_main(argv: list[str] | None = None) -> int:
     """Reconstruct BGP messages from a pcap trace into an MRT file."""
-    parser = argparse.ArgumentParser(
-        prog="pcap2bgp",
-        description="Reconstruct BGP messages from a TCP packet trace",
-    )
-    parser.add_argument("pcap", help="input pcap trace")
-    parser.add_argument("mrt", help="output MRT file")
-    parser.add_argument("--local-as", type=int, default=0)
-    parser.add_argument("--peer-as", type=int, default=0)
-    args = parser.parse_args(argv)
-    count = pcap2bgp.pcap_to_mrt(
-        args.pcap, args.mrt, local_as=args.local_as, peer_as=args.peer_as
-    )
-    print(f"wrote {count} MRT records to {args.mrt}")
-    return 0
+    return _delegate("pcap2bgp", argv)
 
 
-@_guarded
 def tcptrace_main(argv: list[str] | None = None) -> int:
     """Print per-connection summaries of a pcap trace."""
-    parser = argparse.ArgumentParser(
-        prog="tcptrace-lite", description="TCP connection summaries"
-    )
-    parser.add_argument("pcap", help="input pcap trace")
-    args = parser.parse_args(argv)
-    rows = tcptrace_lite.summarize(args.pcap)
-    print(tcptrace_lite.format_report(rows))
-    return 0
+    return _delegate("tcptrace", argv)
 
 
-@_guarded
 def anonymize_main(argv: list[str] | None = None) -> int:
     """Prefix-preservingly anonymize a pcap for sharing."""
-    from repro.tools.anonymize import anonymize_pcap
-
-    parser = argparse.ArgumentParser(
-        prog="pcap-anonymize",
-        description="Prefix-preserving pcap anonymization for delay analysis",
-    )
-    parser.add_argument("pcap", help="input pcap trace")
-    parser.add_argument("out", help="anonymized output pcap")
-    parser.add_argument(
-        "--key", required=True,
-        help="anonymization key (same key -> same mapping)",
-    )
-    parser.add_argument(
-        "--strip-payload", action="store_true",
-        help="zero TCP payloads (lengths and timing preserved)",
-    )
-    args = parser.parse_args(argv)
-    count = anonymize_pcap(
-        args.pcap, args.out, args.key.encode(), strip_payload=args.strip_payload
-    )
-    print(f"anonymized {count} records -> {args.out}")
-    return 0
+    return _delegate("anonymize", argv)
 
 
-@_guarded
 def bgplot_main(argv: list[str] | None = None) -> int:
     """Render event-series panels (or CSV) for a pcap trace."""
-    parser = argparse.ArgumentParser(
-        prog="bgplot", description="Event series visualizer"
-    )
-    parser.add_argument("pcap", help="input pcap trace")
-    parser.add_argument(
-        "--csv", action="store_true", help="emit CSV instead of text panels"
-    )
-    parser.add_argument(
-        "--seq", action="store_true",
-        help="render a tcptrace-style time-sequence graph too",
-    )
-    parser.add_argument("--width", type=int, default=100)
-    args = parser.parse_args(argv)
-    report = analyze_pcap(args.pcap)
-    for analysis in report:
-        if args.csv:
-            print(bgplot.series_to_csv(analysis.series))
-        else:
-            print(bgplot.render_panel(analysis.series, width=args.width))
-            if args.seq:
-                print()
-                print(bgplot.render_time_sequence(analysis, width=args.width))
-        print()
-    return 0
+    return _delegate("bgplot", argv)

@@ -1,0 +1,429 @@
+"""``tdat``: one command line for the whole tool suite.
+
+The paper's Table VI tools used to ship as five separate console
+scripts; they are now subcommands of a single ``tdat`` command sharing
+one parser, one error discipline and one exit-code contract:
+
+* ``tdat analyze <trace.pcap>`` — full delay analysis (the classic
+  ``tdat`` invocation; a bare ``tdat <trace.pcap>`` still works);
+* ``tdat campaign <name>`` — run a measurement campaign;
+* ``tdat report`` — run campaigns and render the survey tables;
+* ``tdat fuzz`` — fault-injection harness over the ingest pipeline;
+* ``tdat anonymize / pcap2bgp / tcptrace / bgplot`` — the offline
+  capture tools.
+
+All subcommands degrade gracefully on operational input: a missing
+file or a trace too damaged to read produces a one-line error on
+stderr and exit code 2, never a traceback.  Analysis subcommands
+report everything tolerant ingest had to drop (the
+:class:`~repro.core.health.TraceHealth` ledger) and exit with code 3
+when the input was readable but damaged; ``--strict`` restores
+fail-fast behaviour, and ``--workers N`` fans work out across
+processes without changing any result.
+
+Exit codes: 0 success, 1 nothing to analyze, 2 error, 3 success with
+recorded issues.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.series import (
+    SNIFFER_AT_RECEIVER,
+    SNIFFER_AT_SENDER,
+    SNIFFER_IN_MIDDLE,
+)
+from repro.api import Pipeline
+from repro.core.health import IngestError
+from repro.tools import bgplot, pcap2bgp, tcptrace_lite
+from repro.tools.report import duration_statistics, render_markdown
+from repro.wire.pcap import PcapError
+from repro.workloads.campaign import CAMPAIGNS
+
+_LOCATIONS = [SNIFFER_AT_RECEIVER, SNIFFER_AT_SENDER, SNIFFER_IN_MIDDLE]
+
+EXIT_OK = 0
+EXIT_NOTHING = 1
+EXIT_ERROR = 2
+EXIT_ISSUES = 3
+
+SUBCOMMANDS = (
+    "analyze",
+    "campaign",
+    "fuzz",
+    "report",
+    "anonymize",
+    "pcap2bgp",
+    "tcptrace",
+    "bgplot",
+)
+
+
+def _guarded_call(prog: str, func, *args) -> int:
+    """Turn ingest failures into one-line errors + exit code 2.
+
+    Every subcommand runs under this guard so operational mishaps — a
+    missing trace, a non-pcap file, a capture damaged beyond what the
+    tolerant reader can salvage, a decode failure — end in a
+    diagnostic on stderr and a nonzero status, never a traceback.
+    """
+    try:
+        return func(*args)
+    except FileNotFoundError as exc:
+        name = getattr(exc, "filename", None) or exc
+        print(f"{prog}: error: no such file: {name}", file=sys.stderr)
+        return EXIT_ERROR
+    except IsADirectoryError as exc:
+        print(f"{prog}: error: is a directory: {exc.filename}", file=sys.stderr)
+        return EXIT_ERROR
+    except (PcapError, IngestError, ValueError, OSError) as exc:
+        print(f"{prog}: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+def _execution_options(parser: argparse.ArgumentParser) -> None:
+    """The knobs every analysis-running subcommand shares."""
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes (0 = all CPUs; results are identical)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail fast on damaged input instead of degrading gracefully",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tdat",
+        description="TCP Delay Analysis Tool for BGP table transfers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    p = sub.add_parser(
+        "analyze", help="delay analysis of every connection in a capture"
+    )
+    p.add_argument("pcap", help="input pcap trace")
+    p.add_argument(
+        "--sniffer-location",
+        choices=_LOCATIONS,
+        default=SNIFFER_AT_RECEIVER,
+        help="where the capture was taken (default: receiver)",
+    )
+    p.add_argument(
+        "--width", type=int, default=100, help="square-wave panel width"
+    )
+    p.add_argument(
+        "--streaming", action="store_true",
+        help="analyze each flow as it closes (bounded-memory ingest)",
+    )
+    _execution_options(p)
+    p.set_defaults(handler=_cmd_analyze)
+
+    p = sub.add_parser("campaign", help="run one measurement campaign")
+    p.add_argument(
+        "name", choices=sorted(CAMPAIGNS),
+        help="campaign from the paper's Table I",
+    )
+    p.add_argument("--transfers", type=int, help="override the transfer count")
+    p.add_argument("--seed", type=int, help="override the campaign seed")
+    p.add_argument(
+        "--fail-episode", type=int, action="append", default=[], metavar="N",
+        help="inject a crash into episode N (repeatable; exercises "
+        "the pool's fault isolation)",
+    )
+    _execution_options(p)
+    p.set_defaults(handler=_cmd_campaign)
+
+    p = sub.add_parser(
+        "report", help="run campaigns and render the survey tables"
+    )
+    p.add_argument(
+        "--campaign", action="append", choices=sorted(CAMPAIGNS),
+        metavar="NAME", help="campaign to include (repeatable; default: all)",
+    )
+    p.add_argument("--transfers", type=int, help="override the transfer count")
+    p.add_argument("--seed", type=int, help="override the campaign seeds")
+    p.add_argument("--out", help="write the report here instead of stdout")
+    _execution_options(p)
+    p.set_defaults(handler=_cmd_report)
+
+    p = sub.add_parser(
+        "fuzz", help="fault-injection harness over the ingest pipeline"
+    )
+    p.add_argument(
+        "--seeds", type=int, default=200,
+        help="number of mangled variants to run (default: 200)",
+    )
+    p.add_argument(
+        "--base-seed", type=int, default=0,
+        help="first seed of the campaign (default: 0)",
+    )
+    p.add_argument(
+        "--table", type=int, default=2_000,
+        help="prefixes in the clean trace's table (default: 2000)",
+    )
+    p.add_argument(
+        "--max-ops", type=int, default=3,
+        help="most fault operators composed per case (default: 3)",
+    )
+    p.add_argument("--verbose", action="store_true", help="print every case")
+    p.set_defaults(handler=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "anonymize", help="prefix-preserving pcap anonymization"
+    )
+    p.add_argument("pcap", help="input pcap trace")
+    p.add_argument("out", help="anonymized output pcap")
+    p.add_argument(
+        "--key", required=True,
+        help="anonymization key (same key -> same mapping)",
+    )
+    p.add_argument(
+        "--strip-payload", action="store_true",
+        help="zero TCP payloads (lengths and timing preserved)",
+    )
+    p.set_defaults(handler=_cmd_anonymize)
+
+    p = sub.add_parser(
+        "pcap2bgp", help="reconstruct BGP messages into an MRT file"
+    )
+    p.add_argument("pcap", help="input pcap trace")
+    p.add_argument("mrt", help="output MRT file")
+    p.add_argument("--local-as", type=int, default=0)
+    p.add_argument("--peer-as", type=int, default=0)
+    p.set_defaults(handler=_cmd_pcap2bgp)
+
+    p = sub.add_parser("tcptrace", help="per-connection summaries")
+    p.add_argument("pcap", help="input pcap trace")
+    p.set_defaults(handler=_cmd_tcptrace)
+
+    p = sub.add_parser("bgplot", help="event-series panels / CSV export")
+    p.add_argument("pcap", help="input pcap trace")
+    p.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of text panels"
+    )
+    p.add_argument(
+        "--seq", action="store_true",
+        help="render a tcptrace-style time-sequence graph too",
+    )
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(handler=_cmd_bgplot)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Legacy compatibility: ``tdat trace.pcap`` predates subcommands.
+    if argv and argv[0] not in SUBCOMMANDS and argv[0] not in ("-h", "--help"):
+        argv.insert(0, "analyze")
+    args = build_parser().parse_args(argv)
+    return _guarded_call("tdat", args.handler, args)
+
+
+# ---------------------------------------------------------------------- #
+# Subcommand handlers                                                     #
+# ---------------------------------------------------------------------- #
+def _cmd_analyze(args) -> int:
+    pipe = Pipeline(
+        workers=args.workers, strict=args.strict, streaming=args.streaming
+    )
+    report = pipe.analyze(args.pcap, sniffer_location=args.sniffer_location)
+    issues = not report.health.ok
+    if not len(report):
+        if issues:
+            print(report.health.summary(), file=sys.stderr)
+        print("no analyzable TCP connections found", file=sys.stderr)
+        return EXIT_NOTHING
+    if args.json:
+        payload = {
+            "connections": [_analysis_to_dict(a) for a in report],
+            "health": report.health.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for analysis in report:
+            print(bgplot.render_analysis(analysis, width=args.width))
+            print()
+        if issues:
+            print(report.health.summary(), file=sys.stderr)
+    return EXIT_ISSUES if issues else EXIT_OK
+
+
+def _cmd_campaign(args) -> int:
+    overrides = {}
+    if args.fail_episode:
+        overrides["fail_episodes"] = tuple(args.fail_episode)
+    pipe = Pipeline(workers=args.workers, strict=args.strict)
+    result = pipe.campaign(
+        args.name, seed=args.seed, transfers=args.transfers,
+        overrides=overrides,
+    )
+    issues = not result.health.ok
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        stats = duration_statistics(result)
+        print(
+            f"campaign {result.name} ({result.collector_kind} collector): "
+            f"{len(result.records)} transfers, {result.routers} routers, "
+            f"{result.total_packets} data packets, "
+            f"{result.total_bytes} bytes"
+        )
+        if stats["count"]:
+            print(
+                f"durations: min {stats['min_s']:.1f}s / "
+                f"median {stats['median_s']:.1f}s / "
+                f"p80 {stats['p80_s']:.1f}s / max {stats['max_s']:.1f}s"
+            )
+        by_pathology: dict[str, int] = {}
+        for record in result.records:
+            by_pathology[record.pathology] = (
+                by_pathology.get(record.pathology, 0) + 1
+            )
+        for pathology in sorted(by_pathology):
+            print(f"  {pathology}: {by_pathology[pathology]}")
+    if issues:
+        print(result.health.summary(), file=sys.stderr)
+    if not result.records:
+        return EXIT_NOTHING
+    return EXIT_ISSUES if issues else EXIT_OK
+
+
+def _cmd_report(args) -> int:
+    names = args.campaign or sorted(CAMPAIGNS)
+    pipe = Pipeline(workers=args.workers, strict=args.strict)
+    results = [
+        pipe.campaign(name, seed=args.seed, transfers=args.transfers)
+        for name in names
+    ]
+    if args.json:
+        text = json.dumps([r.to_dict() for r in results], indent=2)
+    else:
+        text = render_markdown(results)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote report -> {args.out}")
+    else:
+        print(text)
+    issues = [r for r in results if not r.health.ok]
+    for result in issues:
+        print(result.health.summary(), file=sys.stderr)
+    return EXIT_ISSUES if issues else EXIT_OK
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.faults import fuzz
+
+    fuzz_argv = [
+        "--seeds", str(args.seeds),
+        "--base-seed", str(args.base_seed),
+        "--table", str(args.table),
+        "--max-ops", str(args.max_ops),
+    ]
+    if args.verbose:
+        fuzz_argv.append("--verbose")
+    return EXIT_ISSUES if fuzz.main(fuzz_argv) else EXIT_OK
+
+
+def _cmd_anonymize(args) -> int:
+    from repro.tools.anonymize import anonymize_pcap
+
+    count = anonymize_pcap(
+        args.pcap, args.out, args.key.encode(),
+        strip_payload=args.strip_payload,
+    )
+    print(f"anonymized {count} records -> {args.out}")
+    return EXIT_OK
+
+
+def _cmd_pcap2bgp(args) -> int:
+    count = pcap2bgp.pcap_to_mrt(
+        args.pcap, args.mrt, local_as=args.local_as, peer_as=args.peer_as
+    )
+    print(f"wrote {count} MRT records to {args.mrt}")
+    return EXIT_OK
+
+
+def _cmd_tcptrace(args) -> int:
+    rows = tcptrace_lite.summarize(args.pcap)
+    print(tcptrace_lite.format_report(rows))
+    return EXIT_OK
+
+
+def _cmd_bgplot(args) -> int:
+    report = Pipeline().analyze(args.pcap)
+    for analysis in report:
+        if args.csv:
+            print(bgplot.series_to_csv(analysis.series))
+        else:
+            print(bgplot.render_panel(analysis.series, width=args.width))
+            if args.seq:
+                print()
+                print(bgplot.render_time_sequence(analysis, width=args.width))
+        print()
+    return EXIT_OK
+
+
+def _analysis_to_dict(analysis) -> dict:
+    """Flatten one connection's analysis for JSON output."""
+    profile = analysis.connection.profile
+    src, sport, dst, dport = analysis.connection.key
+    rs, rr, rn = analysis.factors.group_vector
+    return {
+        "connection": f"{src}:{sport}<->{dst}:{dport}",
+        "sender": analysis.connection.sender_ip,
+        "profile": {
+            "mss": profile.mss,
+            "rtt_us": profile.rtt_us,
+            "d1_us": profile.d1_us,
+            "d2_us": profile.d2_us,
+            "max_advertised_window": profile.max_advertised_window,
+            "data_packets": profile.total_data_packets,
+            "data_bytes": profile.total_data_bytes,
+            "duration_us": profile.duration_us,
+        },
+        "retransmissions": len(analysis.labeling.retransmissions()),
+        "factors": {
+            "ratios": analysis.factors.ratios,
+            "groups": {"sender": rs, "receiver": rr, "network": rn},
+            "major": analysis.factors.major_factors(),
+        },
+        "detectors": {
+            "timer_gaps": {
+                "detected": analysis.timer_gaps.detected,
+                "timer_us": analysis.timer_gaps.timer_us,
+                "induced_delay_us": analysis.timer_gaps.induced_delay_us,
+            },
+            "consecutive_losses": {
+                "detected": analysis.consecutive_losses.detected,
+                "episodes": analysis.consecutive_losses.episodes,
+                "worst_run": analysis.consecutive_losses.worst_run,
+                "induced_delay_us": analysis.consecutive_losses.induced_delay_us,
+            },
+            "zero_ack_bug": {
+                "detected": analysis.zero_ack_bug.detected,
+                "occurrences": analysis.zero_ack_bug.occurrences,
+            },
+            "capture_voids": {
+                "detected": analysis.capture_voids.detected,
+                "phantom_bytes": analysis.capture_voids.phantom_bytes,
+                "excluded_us": analysis.capture_voids.excluded_us,
+            },
+        },
+    }
+
+
+if __name__ == "__main__":
+    sys.exit(main())

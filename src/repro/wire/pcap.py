@@ -47,6 +47,14 @@ MAX_PLAUSIBLE_CAPLEN = 1 << 22
 # Resync scans look this far ahead for the next plausible record
 # boundary before declaring the remainder of the file unreadable.
 RESYNC_SCAN_LIMIT = 1 << 20
+# Tolerant mode disbelieves records whose timestamp jumps more than
+# this far from their neighbours.  A structurally intact header with a
+# mangled timestamp field passes every length check — and in
+# nanosecond-magic files the fraction field's plausibility bound is
+# 1000x looser than in microsecond ones, so corrupt headers slip
+# through there far more often.  No real capture spans a year between
+# adjacent records.
+MAX_PLAUSIBLE_TS_JUMP_US = 366 * 86_400 * US_PER_SECOND
 
 
 class PcapError(ValueError):
@@ -279,48 +287,80 @@ class PcapReader:
         last_ts: int | None = None
         regressions = 0
         first_regression_at: int | None = None
+        # Timestamp-continuity adjudication.  A header whose length
+        # fields survived mangling still frames the stream correctly,
+        # so a corrupt timestamp must cost one record, not a resync —
+        # but the reader cannot tell *which* of two wildly disagreeing
+        # neighbours is the liar without a third opinion.  Until an
+        # anchor is established the first records are buffered and
+        # settled by quorum; afterwards any record a year away from the
+        # anchor is dropped (with re-anchoring when two consecutive
+        # drops agree with each other, i.e. the anchor was the liar).
+        pending: list[tuple[int, PcapRecord]] = []
+        anchor: int | None = None
+        dropped_ts: int | None = None
+
+        def emit(record: PcapRecord) -> PcapRecord:
+            nonlocal last_ts, regressions, first_regression_at
+            if last_ts is not None and record.timestamp_us < last_ts:
+                regressions += 1
+                if first_regression_at is None:
+                    first_regression_at = record.timestamp_us
+            last_ts = record.timestamp_us
+            self.health.records_read += 1
+            return record
+
         try:
-            while True:
-                start = self._offset
-                header = self._read_exact(RECORD_HEADER.size)
-                if not header:
-                    return
-                if len(header) < RECORD_HEADER.size:
-                    self.health.record(
-                        STAGE_PCAP, "truncated-record-header",
-                        offset=start, bytes_lost=len(header),
-                        detail=f"{len(header)} of {RECORD_HEADER.size} header bytes",
-                    )
-                    return
-                if not self._plausible_header(header):
-                    if not self._resync(start, header):
-                        return
-                    continue
-                ts_sec, ts_frac, incl_len, orig_len = struct.unpack(
-                    self._endian + "IIII", header
-                )
-                data = self._read_exact(incl_len)
-                if len(data) < incl_len:
-                    self.health.record(
-                        STAGE_PCAP, "truncated-record",
-                        offset=start,
-                        timestamp_us=self._timestamp(ts_sec, ts_frac),
-                        bytes_lost=RECORD_HEADER.size + len(data),
-                        detail=f"{len(data)} of {incl_len} data bytes",
-                    )
-                    return
-                timestamp = self._timestamp(ts_sec, ts_frac)
-                if last_ts is not None and timestamp < last_ts:
-                    regressions += 1
-                    if first_regression_at is None:
-                        first_regression_at = timestamp
-                last_ts = timestamp
-                self.health.records_read += 1
-                yield PcapRecord(
-                    timestamp_us=timestamp,
-                    data=data,
-                    original_length=orig_len,
-                )
+            for start, record in self._iter_tolerant_raw():
+                ready: list[PcapRecord]
+                if anchor is None:
+                    pending.append((start, record))
+                    if len(pending) < 2:
+                        continue
+                    if len(pending) == 2:
+                        if self._ts_consistent(pending[0][1], pending[1][1]):
+                            ready = [item[1] for item in pending]
+                            anchor = record.timestamp_us
+                            pending = []
+                        else:
+                            continue  # disagreement: wait for a tiebreaker
+                    else:
+                        (s0, r0), (s1, r1), (s2, r2) = pending
+                        if self._ts_consistent(r0, r2):
+                            self._drop_implausible_ts(s1, r1)
+                            ready = [r0, r2]
+                        elif self._ts_consistent(r1, r2):
+                            self._drop_implausible_ts(s0, r0)
+                            ready = [r1, r2]
+                        else:
+                            ready = [r0, r1, r2]  # no quorum: keep everything
+                        anchor = r2.timestamp_us
+                        pending = []
+                elif abs(record.timestamp_us - anchor) > MAX_PLAUSIBLE_TS_JUMP_US:
+                    if dropped_ts is not None and abs(
+                        record.timestamp_us - dropped_ts
+                    ) <= MAX_PLAUSIBLE_TS_JUMP_US:
+                        # Two consecutive "implausible" records agree
+                        # with each other: the anchor was the corrupt
+                        # one.  Re-anchor and keep this record.
+                        anchor = record.timestamp_us
+                        dropped_ts = None
+                        ready = [record]
+                    else:
+                        dropped_ts = record.timestamp_us
+                        self._drop_implausible_ts(start, record)
+                        continue
+                else:
+                    anchor = record.timestamp_us
+                    dropped_ts = None
+                    ready = [record]
+                for item in ready:
+                    yield emit(item)
+            # EOF with the jury still out (a file of one or two
+            # records): keep what was read, as the pre-continuity
+            # reader did.
+            for _, item in pending:
+                yield emit(item)
         finally:
             if regressions:
                 # One summary issue per file: clock steps and capture
@@ -332,6 +372,55 @@ class PcapReader:
                     detail=f"{regressions} record(s) went backwards in time",
                     benign=True,
                 )
+
+    def _ts_consistent(self, a: PcapRecord, b: PcapRecord) -> bool:
+        return abs(a.timestamp_us - b.timestamp_us) <= MAX_PLAUSIBLE_TS_JUMP_US
+
+    def _drop_implausible_ts(self, start: int, record: PcapRecord) -> None:
+        self.health.record(
+            STAGE_PCAP, "implausible-timestamp",
+            offset=start,
+            timestamp_us=record.timestamp_us,
+            bytes_lost=RECORD_HEADER.size + len(record.data),
+            detail="timestamp a year away from its neighbours",
+        )
+
+    def _iter_tolerant_raw(self) -> Iterator[tuple[int, PcapRecord]]:
+        """Structurally validated records plus their file offsets."""
+        while True:
+            start = self._offset
+            header = self._read_exact(RECORD_HEADER.size)
+            if not header:
+                return
+            if len(header) < RECORD_HEADER.size:
+                self.health.record(
+                    STAGE_PCAP, "truncated-record-header",
+                    offset=start, bytes_lost=len(header),
+                    detail=f"{len(header)} of {RECORD_HEADER.size} header bytes",
+                )
+                return
+            if not self._plausible_header(header):
+                if not self._resync(start, header):
+                    return
+                continue
+            ts_sec, ts_frac, incl_len, orig_len = struct.unpack(
+                self._endian + "IIII", header
+            )
+            data = self._read_exact(incl_len)
+            if len(data) < incl_len:
+                self.health.record(
+                    STAGE_PCAP, "truncated-record",
+                    offset=start,
+                    timestamp_us=self._timestamp(ts_sec, ts_frac),
+                    bytes_lost=RECORD_HEADER.size + len(data),
+                    detail=f"{len(data)} of {incl_len} data bytes",
+                )
+                return
+            yield start, PcapRecord(
+                timestamp_us=self._timestamp(ts_sec, ts_frac),
+                data=data,
+                original_length=orig_len,
+            )
 
     def _read_exact(self, count: int) -> bytes:
         data = self._stream.read(count)

@@ -1,15 +1,16 @@
 """Workload generation: synthetic tables, scenarios and campaigns."""
 
 from repro.workloads.campaign import (
+    CAMPAIGNS,
     CampaignConfig,
     CampaignResult,
     EpisodeSpec,
     PeerGroupEpisodeResult,
     TransferRecord,
+    campaign_config,
     isp_quagga_config,
     isp_vendor_config,
     routeviews_config,
-    run_campaign,
     run_concurrency_sweep,
     run_episode,
     run_peer_group_episode,
@@ -23,9 +24,30 @@ from repro.workloads.scenarios import (
     RouterParams,
 )
 
+
+def __getattr__(name: str):
+    # Deprecated re-export: the supported entry point is the
+    # repro.api facade (engine code imports repro.workloads.campaign).
+    if name == "run_campaign":
+        import warnings
+
+        from repro.workloads.campaign import run_campaign
+
+        warnings.warn(
+            "importing run_campaign from repro.workloads is deprecated; "
+            "use repro.api.Pipeline().campaign(...) or import it from "
+            "repro.workloads.campaign",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return run_campaign
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "CAMPAIGNS",
     "COLLECTOR_PORT",
     "CampaignConfig",
+    "campaign_config",
     "CampaignResult",
     "ChurnGenerator",
     "ResetStorm",

@@ -41,7 +41,9 @@ from repro.bgp.sender_models import (
     TimerBatchSender,
 )
 from repro.bgp.table import Rib, generate_table
+from repro.core.health import STAGE_EXEC, TraceHealth
 from repro.core.units import seconds
+from repro.exec.pool import WorkPool, task_context
 from repro.netsim.link import BernoulliLoss, WindowLoss
 from repro.netsim.random import RandomStreams
 from repro.netsim.simulator import Simulator
@@ -90,6 +92,59 @@ class TransferRecord:
     def duration_s(self) -> float:
         return self.duration_us / 1e6
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form, stable across execution backends.
+
+        This is the byte-identity witness: serializing the records of a
+        serial and a parallel campaign run must produce equal JSON.
+        """
+        return {
+            "campaign": self.campaign,
+            "router": self.router,
+            "episode": self.episode,
+            "trigger": self.trigger,
+            "pathology": self.pathology,
+            "table_prefixes": self.table_prefixes,
+            "wire_bytes": self.wire_bytes,
+            "data_packets": self.data_packets,
+            "rtt_us": self.rtt_us,
+            "duration_us": self.duration_us,
+            "mct_ended_by": self.mct_ended_by,
+            "concurrency": self.concurrency,
+            "true_timer_us": self.true_timer_us,
+            "factors": {
+                "analysis_period_us": self.factors.analysis_period_us,
+                "ratios": dict(self.factors.ratios),
+                "group_ratios": dict(self.factors.group_ratios),
+                "major_factors": self.factors.major_factors(),
+            },
+            "timer": {
+                "detected": self.timer.detected,
+                "timer_us": self.timer.timer_us,
+                "gap_count": self.timer.gap_count,
+                "induced_delay_us": self.timer.induced_delay_us,
+            },
+            "consecutive": {
+                "detected": self.consecutive.detected,
+                "episodes": self.consecutive.episodes,
+                "worst_run": self.consecutive.worst_run,
+                "induced_delay_us": self.consecutive.induced_delay_us,
+            },
+            "zero_bug": {
+                "detected": self.zero_bug.detected,
+                "occurrences": self.zero_bug.occurrences,
+                "induced_delay_us": self.zero_bug.induced_delay_us,
+            },
+            "keepalive_pause": (
+                {
+                    "detected": self.keepalive_pause.detected,
+                    "induced_delay_us": self.keepalive_pause.induced_delay_us,
+                }
+                if self.keepalive_pause is not None
+                else None
+            ),
+        }
+
 
 @dataclass
 class CampaignResult:
@@ -101,12 +156,25 @@ class CampaignResult:
     total_packets: int = 0
     total_bytes: int = 0
     routers: int = 0
+    health: TraceHealth = field(default_factory=TraceHealth)
 
     def durations_s(self) -> list[float]:
         return sorted(r.duration_s for r in self.records)
 
     def by_pathology(self, pathology: str) -> list[TransferRecord]:
         return [r for r in self.records if r.pathology == pathology]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (records in episode order + the ledger)."""
+        return {
+            "name": self.name,
+            "collector_kind": self.collector_kind,
+            "routers": self.routers,
+            "total_packets": self.total_packets,
+            "total_bytes": self.total_bytes,
+            "records": [record.to_dict() for record in self.records],
+            "health": self.health.to_dict(),
+        }
 
 
 @dataclass
@@ -141,6 +209,9 @@ class CampaignConfig:
     # Scale of downstream blackout durations (RV's aggressive RTO
     # backoff turns longer blackouts into much longer recoveries).
     loss_window_scale: float = 1.0
+    # Fault injection: these episode numbers raise inside their worker,
+    # exercising the pool's per-transfer crash containment.
+    fail_episodes: tuple[int, ...] = ()
 
 
 def isp_vendor_config(seed: int = 11, transfers: int = 40) -> CampaignConfig:
@@ -192,6 +263,24 @@ def routeviews_config(seed: int = 33, transfers: int = 24) -> CampaignConfig:
 PATHOLOGIES = (
     CLEAN, TIMER, RATE_LIMITED, UPSTREAM_LOSS, DOWNSTREAM_LOSS, LOADED_COLLECTOR,
 )
+
+#: factory registry: campaign name → config factory (``seed``,
+#: ``transfers`` keyword overrides pass through).
+CAMPAIGNS = {
+    "ISP_A-Vendor": isp_vendor_config,
+    "ISP_A-Quagga": isp_quagga_config,
+    "RV": routeviews_config,
+}
+
+
+def campaign_config(name: str, **overrides) -> CampaignConfig:
+    """Look up a campaign by name (Table I) and build its config."""
+    try:
+        factory = CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise ValueError(f"unknown campaign {name!r} (known: {known})") from None
+    return factory(**overrides)
 
 
 @dataclass
@@ -304,8 +393,17 @@ def _sender_model(spec: EpisodeSpec, sim: Simulator):
     return ImmediateSender()
 
 
-def run_episode(spec: EpisodeSpec) -> list[TransferRecord]:
-    """Simulate one episode, capture it, and run T-DAT on the capture."""
+def run_episode(
+    spec: EpisodeSpec,
+    strict: bool = False,
+    health: TraceHealth | None = None,
+) -> list[TransferRecord]:
+    """Simulate one episode, capture it, and run T-DAT on the capture.
+
+    With ``strict=True`` the analysis fails fast on any ingest damage;
+    otherwise issues accumulate in ``health`` (a fresh ledger when not
+    supplied).
+    """
     sim = Simulator()
     streams = RandomStreams(spec.seed)
     setup = MonitoringSetup(
@@ -341,7 +439,9 @@ def run_episode(spec: EpisodeSpec) -> list[TransferRecord]:
     sim.run(until_us=seconds(900))
 
     records = setup.sniffer.sorted_records()
-    report = analyze_pcap(records, min_data_packets=2)
+    report = analyze_pcap(
+        records, min_data_packets=2, strict=strict, health=health
+    )
     transfer_extents = _transfer_extents(setup, records)
     results: list[TransferRecord] = []
     for handle in handles:
@@ -430,23 +530,80 @@ def _make_record(
     )
 
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
-    """Run every episode of a campaign and collect the records."""
+def _campaign_task(task: tuple[str, int]) -> tuple[list[TransferRecord], TraceHealth]:
+    """Work-pool task: simulate + analyze one campaign work unit.
+
+    The (config, specs, strict) triple rides in the pool context — the
+    specs embed full RIB tables, so shipping them per-task instead
+    would dominate the fan-out cost.  Returns the unit's records plus
+    its private health ledger for the parent to merge in order.
+    """
+    config, specs, strict = task_context()
+    kind, index = task
+    episode_health = TraceHealth()
+    if kind == "episode":
+        spec = specs[index]
+        if spec.episode in config.fail_episodes:
+            raise RuntimeError(f"injected fault in episode {spec.episode}")
+        records = run_episode(spec, strict=strict, health=episode_health)
+    else:
+        record = run_zero_ack_bug_episode(
+            config, index=index, strict=strict, health=episode_health
+        )
+        records = [record] if record is not None else []
+    return records, episode_health
+
+
+def run_campaign(
+    config: CampaignConfig,
+    workers: int = 1,
+    pool: WorkPool | None = None,
+    strict: bool = False,
+    health: TraceHealth | None = None,
+) -> CampaignResult:
+    """Run every episode of a campaign and collect the records.
+
+    ``workers=N`` (or an explicit ``pool``) fans the episodes out
+    across worker processes; records come back in episode order, so the
+    result is identical to a serial run.  A transfer that crashes — in
+    a worker or inline — is contained: it becomes a ``transfer-crashed``
+    issue in the result's :class:`TraceHealth` and the rest of the
+    campaign completes.  ``strict=True`` applies fail-fast *analysis*
+    inside each episode (damaged ingest aborts that transfer), which
+    surfaces through the same containment path.
+    """
     specs, _tables = _draw_specs(config)
+    if health is None:
+        health = TraceHealth()
     result = CampaignResult(
         name=config.name,
         collector_kind=config.collector_kind,
         routers=config.routers,
+        health=health,
     )
-    for spec in specs:
-        for record in run_episode(spec):
-            result.records.append(record)
-            result.total_packets += record.data_packets
-            result.total_bytes += record.wire_bytes
-    # Dedicated pathological episodes.
-    for i in range(config.zero_bug_episodes):
-        record = run_zero_ack_bug_episode(config, index=i)
-        if record is not None:
+    if pool is None:
+        pool = WorkPool(workers=workers)
+    tasks: list[tuple[str, int]] = [("episode", i) for i in range(len(specs))]
+    # Dedicated pathological episodes ride the same pool, after the
+    # mixture episodes so record order matches the legacy serial loop.
+    tasks += [("zero-bug", i) for i in range(config.zero_bug_episodes)]
+    outcomes = pool.map(_campaign_task, tasks, context=(config, specs, strict))
+    for task, outcome in zip(tasks, outcomes):
+        if not outcome.ok:
+            kind, index = task
+            label = (
+                f"episode {specs[index].episode}"
+                if kind == "episode"
+                else f"zero-bug episode {index}"
+            )
+            health.record(
+                STAGE_EXEC, "transfer-crashed",
+                detail=f"{config.name} {label}: {outcome.error}",
+            )
+            continue
+        records, episode_health = outcome.value
+        health.merge(episode_health)
+        for record in records:
             result.records.append(record)
             result.total_packets += record.data_packets
             result.total_bytes += record.wire_bytes
@@ -457,7 +614,10 @@ def run_campaign(config: CampaignConfig) -> CampaignResult:
 # Special episodes                                                         #
 # ---------------------------------------------------------------------- #
 def run_zero_ack_bug_episode(
-    config: CampaignConfig, index: int = 0
+    config: CampaignConfig,
+    index: int = 0,
+    strict: bool = False,
+    health: TraceHealth | None = None,
 ) -> TransferRecord | None:
     """A transfer whose sender TCP has the zero-window probe bug."""
     sim = Simulator()
@@ -487,7 +647,9 @@ def run_zero_ack_bug_episode(
     setup.start()
     sim.run(until_us=seconds(900))
     records = setup.sniffer.sorted_records()
-    report = analyze_pcap(records, min_data_packets=2)
+    report = analyze_pcap(
+        records, min_data_packets=2, strict=strict, health=health
+    )
     key = _connection_key(handle, setup)
     if key not in report.analyses:
         return None

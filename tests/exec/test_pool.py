@@ -1,0 +1,112 @@
+"""The work pool's three guarantees: order, isolation, cheap context."""
+
+import pytest
+
+from repro.exec.pool import (
+    MULTIPROCESSING,
+    SERIAL,
+    TaskOutcome,
+    WorkPool,
+    available_parallelism,
+    derive_seed,
+    task_context,
+)
+
+
+# Task functions must be module-level to be picklable by reference.
+def _square(x: int) -> int:
+    return x * x
+
+
+def _fail_on_two(x: int) -> int:
+    if x == 2:
+        raise ValueError("boom on 2")
+    return x
+
+
+def _read_context(x: int):
+    return (task_context(), x)
+
+
+BACKEND_POOLS = [
+    pytest.param(WorkPool(workers=1), id="serial"),
+    pytest.param(WorkPool(workers=2), id="multiprocessing"),
+]
+
+
+class TestBackends:
+    def test_backend_selection(self):
+        assert WorkPool(workers=1).backend == SERIAL
+        assert WorkPool(workers=4).backend == MULTIPROCESSING
+
+    def test_workers_floor_at_one(self):
+        assert WorkPool(workers=0).workers == 1
+        assert WorkPool(workers=-3).workers == 1
+
+    def test_available_parallelism_positive(self):
+        assert available_parallelism() >= 1
+
+
+class TestMap:
+    @pytest.mark.parametrize("pool", BACKEND_POOLS)
+    def test_results_in_submission_order(self, pool):
+        outcomes = pool.map(_square, range(10))
+        assert [o.index for o in outcomes] == list(range(10))
+        assert [o.value for o in outcomes] == [i * i for i in range(10)]
+        assert all(o.ok for o in outcomes)
+
+    @pytest.mark.parametrize("pool", BACKEND_POOLS)
+    def test_serial_and_parallel_agree(self, pool):
+        serial = WorkPool(workers=1).map(_square, range(8))
+        assert [o.value for o in pool.map(_square, range(8))] == [
+            o.value for o in serial
+        ]
+
+    @pytest.mark.parametrize("pool", BACKEND_POOLS)
+    def test_empty_input(self, pool):
+        assert pool.map(_square, []) == []
+
+    @pytest.mark.parametrize("pool", BACKEND_POOLS)
+    def test_context_reaches_every_task(self, pool):
+        outcomes = pool.map(_read_context, range(4), context={"k": "v"})
+        assert all(o.value == ({"k": "v"}, i) for i, o in enumerate(outcomes))
+
+    def test_context_cleared_after_serial_map(self):
+        WorkPool(workers=1).map(_read_context, [0], context="ctx")
+        assert task_context() is None
+
+
+class TestFaultIsolation:
+    @pytest.mark.parametrize("pool", BACKEND_POOLS)
+    def test_one_crash_does_not_kill_siblings(self, pool):
+        outcomes = pool.map(_fail_on_two, range(5))
+        failed = [o for o in outcomes if not o.ok]
+        assert len(failed) == 1
+        assert failed[0].index == 2
+        assert failed[0].error.kind == "ValueError"
+        assert "boom on 2" in failed[0].error.message
+        assert "boom on 2" in failed[0].error.traceback
+        ok = [o.value for o in outcomes if o.ok]
+        assert ok == [0, 1, 3, 4]
+
+    def test_outcome_ok_property(self):
+        assert TaskOutcome(index=0, value=1).ok
+        assert not TaskOutcome(index=0, error=_error()).ok
+
+
+def _error():
+    from repro.exec.pool import TaskError
+
+    return TaskError(kind="ValueError", message="x")
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(11, "episode-3") == derive_seed(11, "episode-3")
+
+    def test_distinct_tasks_distinct_seeds(self):
+        seeds = {derive_seed(11, f"episode-{i}") for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_master_seed_matters(self):
+        assert derive_seed(1, "t") != derive_seed(2, "t")

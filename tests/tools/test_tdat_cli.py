@@ -1,0 +1,119 @@
+"""The unified ``tdat`` command: subcommands, legacy form, exit codes."""
+
+import json
+
+import pytest
+
+from repro.faults.fuzz import clean_trace_bytes
+from repro.tools import tdat_cli
+from repro.tools.tdat_cli import (
+    EXIT_ERROR,
+    EXIT_ISSUES,
+    EXIT_NOTHING,
+    EXIT_OK,
+    main,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_pcap(tmp_path_factory):
+    path = tmp_path_factory.mktemp("tdat") / "clean.pcap"
+    path.write_bytes(clean_trace_bytes(table_prefixes=2_000, duration_s=60))
+    return path
+
+
+class TestAnalyze:
+    def test_explicit_subcommand(self, clean_pcap, capsys):
+        assert main(["analyze", str(clean_pcap)]) == EXIT_OK
+        assert "major factors" in capsys.readouterr().out
+
+    def test_legacy_bare_pcap_still_works(self, clean_pcap, capsys):
+        """``tdat trace.pcap`` predates subcommands and must keep working."""
+        assert main([str(clean_pcap)]) == EXIT_OK
+        assert "major factors" in capsys.readouterr().out
+
+    def test_legacy_flags_without_subcommand(self, clean_pcap, capsys):
+        rc = main([str(clean_pcap), "--json", "--workers", "2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == EXIT_OK
+        assert payload["health"]["ok"] is True
+        assert len(payload["connections"]) == 1
+
+    def test_streaming_flag_same_output(self, clean_pcap, capsys):
+        assert main(["analyze", str(clean_pcap), "--json"]) == EXIT_OK
+        buffered = json.loads(capsys.readouterr().out)
+        rc = main(["analyze", str(clean_pcap), "--json", "--streaming"])
+        streamed = json.loads(capsys.readouterr().out)
+        assert rc == EXIT_OK
+        assert streamed == buffered
+
+    def test_missing_file_one_line_error(self, capsys):
+        rc = main(["analyze", "/nonexistent/trace.pcap"])
+        err = capsys.readouterr().err
+        assert rc == EXIT_ERROR
+        assert err.count("\n") == 1
+        assert "error: no such file" in err
+
+    def test_unknown_word_is_treated_as_a_trace_path(self, capsys):
+        # Not a subcommand -> legacy form -> analyze a file that isn't there.
+        rc = main(["frobnicate"])
+        assert rc == EXIT_ERROR
+        assert "no such file" in capsys.readouterr().err
+
+    def test_junk_input_is_nothing_to_analyze(self, tmp_path, capsys):
+        junk = tmp_path / "junk.pcap"
+        junk.write_bytes(b"not a pcap at all")
+        assert main(["analyze", str(junk)]) == EXIT_NOTHING
+
+
+class TestCampaign:
+    def test_run_json_with_injected_crash(self, capsys):
+        rc = main([
+            "campaign", "ISP_A-Quagga",
+            "--transfers", "2", "--seed", "5", "--workers", "2",
+            "--fail-episode", "0", "--json",
+        ])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        # The injected crash is contained: the sibling transfer and the
+        # zero-ack-bug episode completed, the ledger says what was lost.
+        assert rc == EXIT_ISSUES
+        assert payload["health"]["ok"] is False
+        assert payload["health"]["by_kind"].get("transfer-crashed") == 1
+        assert payload["records"]
+        assert "transfer-crashed" in captured.err
+
+    def test_unknown_campaign_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "no-such-campaign"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestOtherSubcommands:
+    def test_tcptrace(self, clean_pcap, capsys):
+        assert main(["tcptrace", str(clean_pcap)]) == EXIT_OK
+        assert "conn" in capsys.readouterr().out
+
+    def test_pcap2bgp(self, clean_pcap, tmp_path, capsys):
+        out = tmp_path / "out.mrt"
+        assert main(["pcap2bgp", str(clean_pcap), str(out)]) == EXIT_OK
+        assert out.exists()
+
+    def test_anonymize(self, clean_pcap, tmp_path, capsys):
+        out = tmp_path / "anon.pcap"
+        rc = main(["anonymize", str(clean_pcap), str(out), "--key", "k"])
+        assert rc == EXIT_OK
+        assert out.exists()
+
+    def test_fuzz_smoke(self, capsys):
+        rc = main(["fuzz", "--seeds", "2", "--table", "500"])
+        assert rc == EXIT_OK
+        assert "fuzz" in capsys.readouterr().out
+
+    def test_help_lists_subcommands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in tdat_cli.SUBCOMMANDS:
+            assert name in out

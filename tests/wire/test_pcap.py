@@ -267,6 +267,108 @@ class TestTolerantReader:
             assert not health.ok or len(got) < len(records) or cut == 0
 
 
+class TestTimestampContinuity:
+    """The tolerant reader adjudicates corrupt timestamps by continuity.
+
+    A record header whose *length* fields survive mangling still frames
+    the stream correctly, so a smashed timestamp must cost exactly one
+    record — it must neither trigger a resync nor poison the output
+    with a time 28 years in the future (the old nanosecond-magic
+    failure mode, where the ns frac bound admitted ~23% of random
+    values that the microsecond bound rejected).
+    """
+
+    def steady_records(self, n=5, start=1_000_000, step=1_000):
+        # Nonzero payload bytes: a zero-filled payload reads as a
+        # plausible all-zero record header during resync, which would
+        # add an unrelated artifact to what these tests measure.
+        return [
+            PcapRecord(timestamp_us=start + i * step, data=bytes([65 + i]) * 40)
+            for i in range(n)
+        ]
+
+    def test_garbage_first_timestamp_settled_by_quorum(self):
+        records = self.steady_records()
+        records[0] = PcapRecord(timestamp_us=10**15, data=records[0].data)
+        health = TraceHealth()
+        got = read_pcap(
+            io.BytesIO(records_to_bytes(records)), tolerant=True, health=health
+        )
+        assert [r.data for r in got] == [r.data for r in records[1:]]
+        assert health.by_kind() == {"implausible-timestamp": 1}
+
+    def test_garbage_middle_timestamp_dropped(self):
+        records = self.steady_records()
+        records[2] = PcapRecord(timestamp_us=10**15, data=records[2].data)
+        health = TraceHealth()
+        got = read_pcap(
+            io.BytesIO(records_to_bytes(records)), tolerant=True, health=health
+        )
+        assert [r.data for r in got] == [
+            r.data for i, r in enumerate(records) if i != 2
+        ]
+        assert health.by_kind() == {"implausible-timestamp": 1}
+        # The issue accounts the whole record (header + payload).
+        assert health.bytes_lost == 16 + 40
+
+    def test_genuine_jump_reanchors_on_agreement(self):
+        """A capture resumed years later: the far side re-anchors.
+
+        The first post-jump record is the unavoidable casualty (one
+        opinion cannot outvote the anchor); the moment a second record
+        agrees with it, the reader re-anchors and keeps everything.
+        """
+        later = 2 * 366 * 86_400 * 1_000_000
+        records = self.steady_records(3) + [
+            PcapRecord(timestamp_us=later + i * 1_000, data=bytes([10 + i]) * 40)
+            for i in range(3)
+        ]
+        health = TraceHealth()
+        got = read_pcap(
+            io.BytesIO(records_to_bytes(records)), tolerant=True, health=health
+        )
+        assert [r.data for r in got] == [
+            r.data for i, r in enumerate(records) if i != 3
+        ]
+        assert health.by_kind() == {"implausible-timestamp": 1}
+
+    def test_short_files_keep_everything(self):
+        # One or two records: the jury never convenes, nothing is lost.
+        for n in (1, 2):
+            records = self.steady_records(n)
+            health = TraceHealth()
+            got = read_pcap(
+                io.BytesIO(records_to_bytes(records)),
+                tolerant=True, health=health,
+            )
+            assert len(got) == n
+            assert health.ok
+
+    def test_mangled_first_record_ns_behaves_like_us(self):
+        """The regression this guards: ns and us magics must recover
+        identically when the first record's timestamp fields are
+        smashed.  The ns fractional bound (10**9) accepts mangled
+        values the us bound (10**6) rejects, so before continuity
+        adjudication the ns path emitted a garbage-timestamp record
+        where the us path resynced past it."""
+        records = self.steady_records()
+        recovered = {}
+        for nanosecond in (False, True):
+            blob = bytearray(records_to_bytes(records, nanosecond=nanosecond))
+            # ts_sec and ts_frac of the first record (offset 24..31):
+            # garbage that the ns frac bound accepts.
+            struct.pack_into("<II", blob, 24, 0x39ABCDEF, 0x30000000)
+            health = TraceHealth()
+            got = read_pcap(io.BytesIO(bytes(blob)), tolerant=True, health=health)
+            assert not health.ok
+            recovered[nanosecond] = [r.data for r in got]
+            # Whatever survived must carry sane timestamps.
+            for record in got:
+                assert record.timestamp_us < 10**9
+        assert recovered[False] == recovered[True]
+        assert recovered[True] == [r.data for r in records[1:]]
+
+
 class TestFrames:
     def make_tcp(self, **kw):
         defaults = dict(
