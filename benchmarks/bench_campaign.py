@@ -39,6 +39,7 @@ def _child(args: argparse.Namespace) -> int:
         seed=args.seed,
         transfers=args.transfers,
         overrides={"zero_bug_episodes": 0},
+        checkpoint_dir=args.checkpoint_dir or None,
     )
     wall_s = time.perf_counter() - start
     payload = json.dumps(result.to_dict(), sort_keys=True)
@@ -60,7 +61,9 @@ def _child(args: argparse.Namespace) -> int:
     return 0
 
 
-def _measure(args: argparse.Namespace, workers: int) -> dict:
+def _measure(
+    args: argparse.Namespace, workers: int, checkpoint_dir: str = ""
+) -> dict:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
     cmd = [
@@ -71,6 +74,8 @@ def _measure(args: argparse.Namespace, workers: int) -> dict:
         "--transfers", str(args.transfers),
         "--workers", str(workers),
     ]
+    if checkpoint_dir:
+        cmd += ["--checkpoint-dir", checkpoint_dir]
     proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
     if proc.returncode != 0:
         sys.stderr.write(proc.stderr)
@@ -93,7 +98,15 @@ def main(argv: list[str] | None = None) -> int:
         help="exit nonzero unless parallel speedup >= X",
     )
     parser.add_argument(
+        "--checkpoint-overhead", action="store_true",
+        help="also measure a serial run with episode checkpointing "
+        "(fsync'd journal) and report its overhead vs. the plain run",
+    )
+    parser.add_argument(
         "--as-child", action="store_true", help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default="", help=argparse.SUPPRESS
     )
     args = parser.parse_args(argv)
     if args.as_child:
@@ -133,12 +146,39 @@ def main(argv: list[str] | None = None) -> int:
         "speedup": round(speedup, 3),
         "identical": identical,
     }
+
+    if args.checkpoint_overhead:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as ckpt:
+            print("checkpointed serial run (fsync'd journal) ...")
+            journaled = _measure(args, workers=1, checkpoint_dir=ckpt)
+        print(f"  {journaled['wall_s']:.1f}s, {journaled['records']} records")
+        summary["checkpointed"] = {
+            "wall_s": round(journaled["wall_s"], 3),
+            "peak_rss_kb": journaled["peak_rss_kb"],
+            "identical_to_serial": journaled["digest"] == serial["digest"],
+            # >1.0 means the journal costs time; the interesting number
+            # for deciding whether to checkpoint long campaigns.
+            "overhead_ratio": round(
+                journaled["wall_s"] / serial["wall_s"], 3
+            ),
+        }
+
     Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
     print(json.dumps(summary, indent=2))
     print(f"summary -> {args.out}")
 
     if not identical:
         print("FAIL: parallel report differs from serial", file=sys.stderr)
+        return 1
+    if args.checkpoint_overhead and not summary["checkpointed"][
+        "identical_to_serial"
+    ]:
+        print(
+            "FAIL: checkpointed report differs from plain serial",
+            file=sys.stderr,
+        )
         return 1
     if args.assert_speedup is not None and speedup < args.assert_speedup:
         print(

@@ -76,6 +76,10 @@ class CampaignRequest:
     strict: bool | None = None
     workers: int | None = None
     overrides: dict[str, Any] = field(default_factory=dict)
+    # Supervision: journal completed episodes under ``checkpoint_dir``
+    # and, with ``resume=True``, skip the ones already journaled there.
+    checkpoint_dir: str | Path | None = None
+    resume: bool = False
 
     def resolve(self) -> CampaignConfig:
         """Build the concrete :class:`CampaignConfig` this request names."""
@@ -111,12 +115,22 @@ class Pipeline:
     ``workers=0`` means "use every available CPU".  One
     :class:`~repro.exec.pool.WorkPool` is built lazily and reused, so a
     campaign and its follow-up analyses share worker processes.
+
+    The supervision knobs flow into that pool: ``task_timeout`` bounds
+    each task's wall clock, ``max_retries`` re-runs transient failures
+    (crashed workers, timeouts, retryable task errors) with the same
+    seed, and ``checkpoint_dir`` journals completed campaign episodes
+    so an interrupted run can be resumed (see
+    :class:`CampaignRequest.resume`).
     """
 
     workers: int = 1
     strict: bool = False
     streaming: bool = False
     seed: int | None = None
+    task_timeout: float | None = None
+    max_retries: int = 0
+    checkpoint_dir: str | Path | None = None
     _pool: WorkPool | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -126,8 +140,15 @@ class Pipeline:
     @property
     def pool(self) -> WorkPool:
         if self._pool is None:
-            self._pool = WorkPool(workers=self.workers)
+            self._pool = self._make_pool(self.workers)
         return self._pool
+
+    def _make_pool(self, workers: int) -> WorkPool:
+        return WorkPool(
+            workers=workers,
+            task_timeout=self.task_timeout,
+            max_retries=self.max_retries,
+        )
 
     # ------------------------------------------------------------------ #
     # Analysis                                                           #
@@ -199,16 +220,21 @@ class Pipeline:
                 min_data_packets=request.min_data_packets,
                 strict=self._knob(request.strict, self.strict),
                 streaming=self._knob(request.streaming, self.streaming),
-                pool=self.pool if workers == self.workers else WorkPool(workers=workers),
+                pool=self.pool if workers == self.workers else self._make_pool(workers),
             )
         if isinstance(request, CampaignRequest):
             if request.seed is None and self.seed is not None:
                 request = replace(request, seed=self.seed)
             workers = self._knob(request.workers, self.workers)
+            checkpoint_dir = self._knob(
+                request.checkpoint_dir, self.checkpoint_dir
+            )
             return run_campaign(
                 request.resolve(),
                 strict=self._knob(request.strict, self.strict),
-                pool=self.pool if workers == self.workers else WorkPool(workers=workers),
+                pool=self.pool if workers == self.workers else self._make_pool(workers),
+                checkpoint_dir=checkpoint_dir,
+                resume_from=checkpoint_dir if request.resume else None,
             )
         raise TypeError(f"not a pipeline request: {request!r}")
 

@@ -50,6 +50,11 @@ class IngestIssue:
     timestamp_us: int | None = None  # capture time, if known
     bytes_lost: int = 0  # payload bytes this issue cost
     detail: str = ""
+    # Benign issues are bookkeeping, not damage: expected skips (non-IP
+    # frames), recoveries (a retried task that then succeeded), resume
+    # markers.  They never raise in strict mode and do not count as
+    # failures for exit-code purposes.
+    benign: bool = False
 
     def __str__(self) -> str:
         where = []
@@ -96,6 +101,7 @@ class TraceHealth:
             timestamp_us=timestamp_us,
             bytes_lost=bytes_lost,
             detail=detail,
+            benign=benign,
         )
         if self.strict and not benign:
             raise IngestError(str(issue))
@@ -106,6 +112,11 @@ class TraceHealth:
     def ok(self) -> bool:
         """True when ingest saw nothing it had to drop or repair."""
         return not self.issues
+
+    @property
+    def failures(self) -> list[IngestIssue]:
+        """The non-benign issues: what actually cost data or episodes."""
+        return [issue for issue in self.issues if not issue.benign]
 
     @property
     def bytes_lost(self) -> int:
@@ -150,6 +161,7 @@ class TraceHealth:
                     "timestamp_us": issue.timestamp_us,
                     "bytes_lost": issue.bytes_lost,
                     "detail": issue.detail,
+                    "benign": issue.benign,
                 }
                 for issue in self.issues
             ],

@@ -2,24 +2,36 @@
 
 from repro.exec.pool import (
     BACKENDS,
+    CRASH_KIND,
     MULTIPROCESSING,
     SERIAL,
+    STALL_KIND,
+    TIMEOUT_KIND,
+    PoolInterrupted,
     TaskError,
     TaskOutcome,
+    TransientTaskError,
     WorkPool,
     available_parallelism,
     derive_seed,
+    task_attempt,
     task_context,
 )
 
 __all__ = [
     "BACKENDS",
+    "CRASH_KIND",
     "MULTIPROCESSING",
     "SERIAL",
+    "STALL_KIND",
+    "TIMEOUT_KIND",
+    "PoolInterrupted",
     "TaskError",
     "TaskOutcome",
+    "TransientTaskError",
     "WorkPool",
     "available_parallelism",
     "derive_seed",
+    "task_attempt",
     "task_context",
 ]

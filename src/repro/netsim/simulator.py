@@ -12,8 +12,59 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from collections.abc import Callable
+from dataclasses import dataclass
 from typing import Any
+
+#: how SimBudgetExceeded.reason names the exhausted resource.
+BUDGET_EVENTS = "events"
+BUDGET_WALL_CLOCK = "wall-clock"
+
+
+@dataclass(frozen=True)
+class SimBudget:
+    """Watchdog limits for one :meth:`Simulator.run` call.
+
+    A pathological scenario (e.g. a zero-window probe loop that never
+    drains) keeps generating events forever; inside a worker process
+    that hangs the whole campaign pool.  A budget turns the hang into a
+    :class:`SimBudgetExceeded` the episode runner can convert into a
+    ``sim-budget-exceeded`` health issue.
+
+    ``max_events`` is deterministic (same seed, same count) so
+    exceeding it is a property of the scenario, not the machine;
+    ``max_wall_s`` depends on host load, so exceeding it is treated as
+    transient (``retryable``).  The wall clock is sampled every
+    ``wall_check_every`` events to keep the hot loop cheap.
+    """
+
+    max_events: int | None = None
+    max_wall_s: float | None = None
+    wall_check_every: int = 2048
+
+
+class SimBudgetExceeded(RuntimeError):
+    """A simulation run outgrew its :class:`SimBudget`."""
+
+    def __init__(
+        self, reason: str, events: int, wall_s: float, now_us: int
+    ) -> None:
+        self.reason = reason  # BUDGET_EVENTS | BUDGET_WALL_CLOCK
+        self.events = events
+        self.wall_s = wall_s
+        self.now_us = now_us
+        super().__init__(
+            f"simulation exceeded its {reason} budget after "
+            f"{events} event(s) / {wall_s:.3f}s wall "
+            f"(sim time {now_us}us)"
+        )
+
+    @property
+    def retryable(self) -> bool:
+        """Wall-clock exhaustion is host-dependent and worth retrying;
+        an event-count overrun reproduces deterministically."""
+        return self.reason == BUDGET_WALL_CLOCK
 
 
 class Event:
@@ -74,15 +125,24 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time_us} < {self._now}")
         return self.schedule(time_us - self._now, callback, *args)
 
-    def run(self, until_us: int | None = None, max_events: int | None = None) -> int:
+    def run(
+        self,
+        until_us: int | None = None,
+        max_events: int | None = None,
+        budget: SimBudget | None = None,
+    ) -> int:
         """Process events until the heap drains or a bound is hit.
 
         Returns the number of events executed.  ``until_us`` is an
         inclusive time bound; ``max_events`` guards against runaway
-        simulations in tests.
+        simulations in tests (it stops silently).  ``budget`` is the
+        watchdog form of the same guard: exhausting it raises
+        :class:`SimBudgetExceeded` so callers can abort and account a
+        pathological scenario instead of hanging.
         """
         executed = 0
         self._running = True
+        started = time.monotonic() if budget is not None else 0.0
         try:
             while self._heap:
                 if until_us is not None and self._heap[0].time > until_us:
@@ -90,6 +150,24 @@ class Simulator:
                     break
                 if max_events is not None and executed >= max_events:
                     break
+                if budget is not None:
+                    if (
+                        budget.max_events is not None
+                        and executed >= budget.max_events
+                    ):
+                        raise SimBudgetExceeded(
+                            BUDGET_EVENTS, executed,
+                            time.monotonic() - started, self._now,
+                        )
+                    if (
+                        budget.max_wall_s is not None
+                        and executed % budget.wall_check_every == 0
+                    ):
+                        wall = time.monotonic() - started
+                        if wall > budget.max_wall_s:
+                            raise SimBudgetExceeded(
+                                BUDGET_WALL_CLOCK, executed, wall, self._now
+                            )
                 event = heapq.heappop(self._heap)
                 if event.cancelled:
                     continue

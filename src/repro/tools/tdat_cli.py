@@ -21,8 +21,15 @@ when the input was readable but damaged; ``--strict`` restores
 fail-fast behaviour, and ``--workers N`` fans work out across
 processes without changing any result.
 
-Exit codes: 0 success, 1 nothing to analyze, 2 error, 3 success with
-recorded issues.
+Campaigns additionally run *supervised*: ``--task-timeout`` and
+``--max-retries`` bound and retry individual episodes, and
+``--checkpoint-dir`` journals completed episodes so that an
+interrupted run (Ctrl-C, SIGTERM, reboot) exits with code 4 and can be
+continued with ``--resume`` — the merged result is byte-identical to
+an uninterrupted run.
+
+Exit codes (shared by every subcommand, also shown in ``--help``):
+see :data:`EXIT_CODE_TABLE`.
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ from repro.tools import bgplot, pcap2bgp, tcptrace_lite
 from repro.tools.report import duration_statistics, render_markdown
 from repro.wire.pcap import PcapError
 from repro.workloads.campaign import CAMPAIGNS
+from repro.workloads.checkpoint import CampaignInterrupted
 
 _LOCATIONS = [SNIFFER_AT_RECEIVER, SNIFFER_AT_SENDER, SNIFFER_IN_MIDDLE]
 
@@ -49,6 +57,18 @@ EXIT_OK = 0
 EXIT_NOTHING = 1
 EXIT_ERROR = 2
 EXIT_ISSUES = 3
+EXIT_INTERRUPTED = 4
+
+#: the one exit-code contract every subcommand shares; rendered
+#: verbatim into ``--help`` so the table cannot drift from the code.
+EXIT_CODE_TABLE = """\
+exit codes:
+  0  success
+  1  nothing to analyze (no connections / no transfers)
+  2  error (unreadable input, bad arguments, damaged beyond salvage)
+  3  success, but tolerant ingest recorded non-benign issues
+  4  interrupted; completed episodes checkpointed, re-run with --resume\
+"""
 
 SUBCOMMANDS = (
     "analyze",
@@ -98,16 +118,37 @@ def _execution_options(parser: argparse.ArgumentParser) -> None:
         "--json", action="store_true",
         help="emit machine-readable JSON instead of text",
     )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="S",
+        help="kill any single task running longer than S seconds "
+        "(parallel runs; the failure is contained as a health issue)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry transient task failures (crashed worker, timeout) "
+        "up to N times with the same seed (default: 0)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tdat",
         description="TCP Delay Analysis Tool for BGP table transfers",
+        epilog=EXIT_CODE_TABLE,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True, metavar="command")
 
-    p = sub.add_parser(
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        # Every subcommand shows the same exit-code table; one source.
+        return sub.add_parser(
+            name,
+            epilog=EXIT_CODE_TABLE,
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+            **kwargs,
+        )
+
+    p = add_parser(
         "analyze", help="delay analysis of every connection in a capture"
     )
     p.add_argument("pcap", help="input pcap trace")
@@ -127,7 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     _execution_options(p)
     p.set_defaults(handler=_cmd_analyze)
 
-    p = sub.add_parser("campaign", help="run one measurement campaign")
+    p = add_parser("campaign", help="run one measurement campaign")
     p.add_argument(
         "name", choices=sorted(CAMPAIGNS),
         help="campaign from the paper's Table I",
@@ -136,13 +177,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, help="override the campaign seed")
     p.add_argument(
         "--fail-episode", type=int, action="append", default=[], metavar="N",
-        help="inject a crash into episode N (repeatable; exercises "
-        "the pool's fault isolation)",
+        help="inject a transient crash into episode N (repeatable; "
+        "exercises the pool's fault isolation and retry path)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="journal completed episodes under DIR; an interrupted run "
+        "exits with code 4 and can be continued with --resume",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="skip episodes already journaled in --checkpoint-dir "
+        "(config and seed must match the journal's manifest)",
     )
     _execution_options(p)
     p.set_defaults(handler=_cmd_campaign)
 
-    p = sub.add_parser(
+    p = add_parser(
         "report", help="run campaigns and render the survey tables"
     )
     p.add_argument(
@@ -155,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     _execution_options(p)
     p.set_defaults(handler=_cmd_report)
 
-    p = sub.add_parser(
+    p = add_parser(
         "fuzz", help="fault-injection harness over the ingest pipeline"
     )
     p.add_argument(
@@ -177,7 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true", help="print every case")
     p.set_defaults(handler=_cmd_fuzz)
 
-    p = sub.add_parser(
+    p = add_parser(
         "anonymize", help="prefix-preserving pcap anonymization"
     )
     p.add_argument("pcap", help="input pcap trace")
@@ -192,7 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(handler=_cmd_anonymize)
 
-    p = sub.add_parser(
+    p = add_parser(
         "pcap2bgp", help="reconstruct BGP messages into an MRT file"
     )
     p.add_argument("pcap", help="input pcap trace")
@@ -201,11 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--peer-as", type=int, default=0)
     p.set_defaults(handler=_cmd_pcap2bgp)
 
-    p = sub.add_parser("tcptrace", help="per-connection summaries")
+    p = add_parser("tcptrace", help="per-connection summaries")
     p.add_argument("pcap", help="input pcap trace")
     p.set_defaults(handler=_cmd_tcptrace)
 
-    p = sub.add_parser("bgplot", help="event-series panels / CSV export")
+    p = add_parser("bgplot", help="event-series panels / CSV export")
     p.add_argument("pcap", help="input pcap trace")
     p.add_argument(
         "--csv", action="store_true", help="emit CSV instead of text panels"
@@ -227,7 +278,10 @@ def main(argv: list[str] | None = None) -> int:
     # Legacy compatibility: ``tdat trace.pcap`` predates subcommands.
     if argv and argv[0] not in SUBCOMMANDS and argv[0] not in ("-h", "--help"):
         argv.insert(0, "analyze")
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
     return _guarded_call("tdat", args.handler, args)
 
 
@@ -236,12 +290,16 @@ def main(argv: list[str] | None = None) -> int:
 # ---------------------------------------------------------------------- #
 def _cmd_analyze(args) -> int:
     pipe = Pipeline(
-        workers=args.workers, strict=args.strict, streaming=args.streaming
+        workers=args.workers, strict=args.strict, streaming=args.streaming,
+        task_timeout=args.task_timeout, max_retries=args.max_retries,
     )
     report = pipe.analyze(args.pcap, sniffer_location=args.sniffer_location)
-    issues = not report.health.ok
+    # Benign issues (recoveries, resume markers) are reported but do
+    # not flip the exit code; only actual failures do.
+    noisy = not report.health.ok
+    failed = bool(report.health.failures)
     if not len(report):
-        if issues:
+        if noisy:
             print(report.health.summary(), file=sys.stderr)
         print("no analyzable TCP connections found", file=sys.stderr)
         return EXIT_NOTHING
@@ -255,21 +313,30 @@ def _cmd_analyze(args) -> int:
         for analysis in report:
             print(bgplot.render_analysis(analysis, width=args.width))
             print()
-        if issues:
+        if noisy:
             print(report.health.summary(), file=sys.stderr)
-    return EXIT_ISSUES if issues else EXIT_OK
+    return EXIT_ISSUES if failed else EXIT_OK
 
 
 def _cmd_campaign(args) -> int:
     overrides = {}
     if args.fail_episode:
         overrides["fail_episodes"] = tuple(args.fail_episode)
-    pipe = Pipeline(workers=args.workers, strict=args.strict)
-    result = pipe.campaign(
-        args.name, seed=args.seed, transfers=args.transfers,
-        overrides=overrides,
+    pipe = Pipeline(
+        workers=args.workers, strict=args.strict,
+        task_timeout=args.task_timeout, max_retries=args.max_retries,
     )
-    issues = not result.health.ok
+    try:
+        result = pipe.campaign(
+            args.name, seed=args.seed, transfers=args.transfers,
+            overrides=overrides,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        )
+    except CampaignInterrupted as exc:
+        print(f"tdat: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    noisy = not result.health.ok
+    failed = bool(result.health.failures)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -293,16 +360,19 @@ def _cmd_campaign(args) -> int:
             )
         for pathology in sorted(by_pathology):
             print(f"  {pathology}: {by_pathology[pathology]}")
-    if issues:
+    if noisy:
         print(result.health.summary(), file=sys.stderr)
     if not result.records:
         return EXIT_NOTHING
-    return EXIT_ISSUES if issues else EXIT_OK
+    return EXIT_ISSUES if failed else EXIT_OK
 
 
 def _cmd_report(args) -> int:
     names = args.campaign or sorted(CAMPAIGNS)
-    pipe = Pipeline(workers=args.workers, strict=args.strict)
+    pipe = Pipeline(
+        workers=args.workers, strict=args.strict,
+        task_timeout=args.task_timeout, max_retries=args.max_retries,
+    )
     results = [
         pipe.campaign(name, seed=args.seed, transfers=args.transfers)
         for name in names
@@ -317,10 +387,11 @@ def _cmd_report(args) -> int:
         print(f"wrote report -> {args.out}")
     else:
         print(text)
-    issues = [r for r in results if not r.health.ok]
-    for result in issues:
-        print(result.health.summary(), file=sys.stderr)
-    return EXIT_ISSUES if issues else EXIT_OK
+    for result in results:
+        if not result.health.ok:
+            print(result.health.summary(), file=sys.stderr)
+    failed = any(r.health.failures for r in results)
+    return EXIT_ISSUES if failed else EXIT_OK
 
 
 def _cmd_fuzz(args) -> int:

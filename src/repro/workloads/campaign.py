@@ -19,7 +19,9 @@ Tables II, IV, V, while every run stays exactly reproducible.
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.analysis.detectors import (
     ConsecutiveLossReport,
@@ -43,12 +45,25 @@ from repro.bgp.sender_models import (
 from repro.bgp.table import Rib, generate_table
 from repro.core.health import STAGE_EXEC, TraceHealth
 from repro.core.units import seconds
-from repro.exec.pool import WorkPool, task_context
+from repro.exec.pool import (
+    TIMEOUT_KIND,
+    PoolInterrupted,
+    TransientTaskError,
+    WorkPool,
+    task_attempt,
+    task_context,
+)
 from repro.netsim.link import BernoulliLoss, WindowLoss
 from repro.netsim.random import RandomStreams
-from repro.netsim.simulator import Simulator
+from repro.netsim.simulator import SimBudget, Simulator
 from repro.tcp.options import TcpConfig
 from repro.tools.pcap2bgp import pcap_to_bgp
+from repro.wire.pcap import write_pcap
+from repro.workloads.checkpoint import (
+    CampaignInterrupted,
+    CampaignJournal,
+    GracefulShutdown,
+)
 from repro.workloads.scenarios import MonitoringSetup, RouterParams
 
 # Pathology labels (ground truth, recorded per transfer).
@@ -209,9 +224,18 @@ class CampaignConfig:
     # Scale of downstream blackout durations (RV's aggressive RTO
     # backoff turns longer blackouts into much longer recoveries).
     loss_window_scale: float = 1.0
-    # Fault injection: these episode numbers raise inside their worker,
-    # exercising the pool's per-transfer crash containment.
+    # Fault injection: these episode numbers raise a *transient* fault
+    # (first attempt only) inside their worker — with retries disabled
+    # it exercises the pool's per-transfer crash containment, with
+    # retries enabled the episode recovers and matches a clean run.
     fail_episodes: tuple[int, ...] = ()
+    # Simulation watchdog: per-episode budgets enforced inside the
+    # simulator so a pathological scenario aborts as a
+    # ``sim-budget-exceeded`` health issue instead of hanging the pool.
+    # Event counts are deterministic (the default is ~500x a normal
+    # episode); a wall-clock budget is host-dependent, hence opt-in.
+    sim_event_budget: int | None = 5_000_000
+    sim_wall_budget_s: float | None = None
 
 
 def isp_vendor_config(seed: int = 11, transfers: int = 40) -> CampaignConfig:
@@ -305,6 +329,8 @@ class EpisodeSpec:
     cpu_per_message_us: int = 60
     concurrency: int = 1
     seed: int = 0
+    sim_event_budget: int | None = None
+    sim_wall_budget_s: float | None = None
 
 
 def _draw_specs(config: CampaignConfig) -> tuple[list[EpisodeSpec], dict[int, Rib]]:
@@ -342,6 +368,8 @@ def _draw_specs(config: CampaignConfig) -> tuple[list[EpisodeSpec], dict[int, Ri
             collector_window=config.collector_window,
             rto_backoff_factor=config.rto_backoff_factor,
             seed=config.seed * 1000 + episode,
+            sim_event_budget=config.sim_event_budget,
+            sim_wall_budget_s=config.sim_wall_budget_s,
         )
         if pathology == CLEAN and config.background_loss_rate > 0:
             spec.loss_rate = config.background_loss_rate
@@ -397,12 +425,17 @@ def run_episode(
     spec: EpisodeSpec,
     strict: bool = False,
     health: TraceHealth | None = None,
+    pcap_out: io.BufferedIOBase | None = None,
 ) -> list[TransferRecord]:
     """Simulate one episode, capture it, and run T-DAT on the capture.
 
     With ``strict=True`` the analysis fails fast on any ingest damage;
     otherwise issues accumulate in ``health`` (a fresh ledger when not
-    supplied).
+    supplied).  ``pcap_out`` receives the episode's capture as a pcap
+    byte stream (the checkpoint journal's payload).  The spec's
+    watchdog budgets bound the simulation: a pathological scenario
+    raises :class:`~repro.netsim.simulator.SimBudgetExceeded` instead
+    of spinning forever.
     """
     sim = Simulator()
     streams = RandomStreams(spec.seed)
@@ -436,9 +469,11 @@ def run_episode(
         )
         handles.append(setup.add_router(params))
     setup.start()
-    sim.run(until_us=seconds(900))
+    sim.run(until_us=seconds(900), budget=_spec_budget(spec))
 
     records = setup.sniffer.sorted_records()
+    if pcap_out is not None:
+        write_pcap(pcap_out, records)
     report = analyze_pcap(
         records, min_data_packets=2, strict=strict, health=health
     )
@@ -459,6 +494,16 @@ def run_episode(
             analysis = analyze_connection(analysis.connection, window=window)
         results.append(_make_record(spec, handle, analysis, extent))
     return results
+
+
+def _spec_budget(spec: EpisodeSpec) -> SimBudget | None:
+    """The watchdog budget one episode's simulation runs under."""
+    if spec.sim_event_budget is None and spec.sim_wall_budget_s is None:
+        return None
+    return SimBudget(
+        max_events=spec.sim_event_budget,
+        max_wall_s=spec.sim_wall_budget_s,
+    )
 
 
 def _connection_key(handle, setup) -> tuple:
@@ -530,28 +575,60 @@ def _make_record(
     )
 
 
-def _campaign_task(task: tuple[str, int]) -> tuple[list[TransferRecord], TraceHealth]:
+def _campaign_task(
+    task: tuple[str, int]
+) -> tuple[list[TransferRecord], TraceHealth, bytes | None]:
     """Work-pool task: simulate + analyze one campaign work unit.
 
-    The (config, specs, strict) triple rides in the pool context — the
-    specs embed full RIB tables, so shipping them per-task instead
-    would dominate the fan-out cost.  Returns the unit's records plus
-    its private health ledger for the parent to merge in order.
+    The (config, specs, strict, want_pcap) tuple rides in the pool
+    context — the specs embed full RIB tables, so shipping them
+    per-task instead would dominate the fan-out cost.  Returns the
+    unit's records, its private health ledger for the parent to merge
+    in order, and (when the campaign journals checkpoints) the
+    episode's capture as pcap bytes.
+
+    Injected faults from ``config.fail_episodes`` are *transient*: they
+    raise :class:`~repro.exec.pool.TransientTaskError` on the first
+    attempt only, so a pool with retries recovers the episode while a
+    pool without them contains the crash.
     """
-    config, specs, strict = task_context()
+    config, specs, strict, want_pcap = task_context()
     kind, index = task
     episode_health = TraceHealth()
+    pcap_out = io.BytesIO() if want_pcap else None
     if kind == "episode":
         spec = specs[index]
-        if spec.episode in config.fail_episodes:
-            raise RuntimeError(f"injected fault in episode {spec.episode}")
-        records = run_episode(spec, strict=strict, health=episode_health)
+        if spec.episode in config.fail_episodes and task_attempt() == 0:
+            raise TransientTaskError(
+                f"injected transient fault in episode {spec.episode}"
+            )
+        records = run_episode(
+            spec, strict=strict, health=episode_health, pcap_out=pcap_out
+        )
     else:
         record = run_zero_ack_bug_episode(
-            config, index=index, strict=strict, health=episode_health
+            config, index=index, strict=strict, health=episode_health,
+            pcap_out=pcap_out,
         )
         records = [record] if record is not None else []
-    return records, episode_health
+    return records, episode_health, (
+        pcap_out.getvalue() if pcap_out is not None else None
+    )
+
+
+#: TaskError.kind -> health issue kind, for supervisor-classified
+#: failures; anything else is a plain transfer crash.
+_FAILURE_ISSUE_KINDS = {
+    "SimBudgetExceeded": "sim-budget-exceeded",
+    TIMEOUT_KIND: "task-timeout",
+}
+
+
+def _task_label(task: tuple[str, int], specs: list[EpisodeSpec]) -> str:
+    kind, index = task
+    if kind == "episode":
+        return f"episode {specs[index].episode}"
+    return f"zero-bug episode {index}"
 
 
 def run_campaign(
@@ -560,6 +637,10 @@ def run_campaign(
     pool: WorkPool | None = None,
     strict: bool = False,
     health: TraceHealth | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume_from: str | Path | None = None,
+    shutdown: GracefulShutdown | None = None,
+    on_episode=None,
 ) -> CampaignResult:
     """Run every episode of a campaign and collect the records.
 
@@ -568,9 +649,26 @@ def run_campaign(
     result is identical to a serial run.  A transfer that crashes — in
     a worker or inline — is contained: it becomes a ``transfer-crashed``
     issue in the result's :class:`TraceHealth` and the rest of the
-    campaign completes.  ``strict=True`` applies fail-fast *analysis*
-    inside each episode (damaged ingest aborts that transfer), which
-    surfaces through the same containment path.
+    campaign completes; a simulation that outgrows its watchdog budget
+    becomes ``sim-budget-exceeded``, a task killed by the pool's
+    per-task timeout ``task-timeout``, and an episode that succeeded
+    only after retries ``task-retried`` (benign).  ``strict=True``
+    applies fail-fast *analysis* inside each episode (damaged ingest
+    aborts that transfer), which surfaces through the same containment
+    path.
+
+    ``checkpoint_dir`` journals every completed episode (records +
+    health + pcap, fsync'd) under that directory as the campaign runs;
+    while checkpointing, SIGINT/SIGTERM drain in-flight episodes,
+    flush the journal, and raise
+    :class:`~repro.workloads.checkpoint.CampaignInterrupted`.
+    ``resume_from`` loads a journal written by an identical config
+    (verified via the manifest hash) and skips its completed episodes —
+    the merged result is byte-identical to an uninterrupted run, save
+    for one benign ``campaign-resumed`` issue recording the restore.
+    ``on_episode(task, outcome)`` is invoked as each episode resolves
+    (progress reporting); ``shutdown`` overrides the signal-driven
+    drain trigger (embedding apps, tests).
     """
     specs, _tables = _draw_specs(config)
     if health is None:
@@ -587,26 +685,101 @@ def run_campaign(
     # Dedicated pathological episodes ride the same pool, after the
     # mixture episodes so record order matches the legacy serial loop.
     tasks += [("zero-bug", i) for i in range(config.zero_bug_episodes)]
-    outcomes = pool.map(_campaign_task, tasks, context=(config, specs, strict))
-    for task, outcome in zip(tasks, outcomes):
-        if not outcome.ok:
-            kind, index = task
-            label = (
-                f"episode {specs[index].episode}"
-                if kind == "episode"
-                else f"zero-bug episode {index}"
+
+    if resume_from is not None and checkpoint_dir is None:
+        checkpoint_dir = resume_from
+    journal = None
+    cached: dict[tuple[str, int], tuple[list, TraceHealth]] = {}
+    if checkpoint_dir is not None:
+        journal = CampaignJournal(checkpoint_dir, config)
+        if resume_from is not None:
+            wanted = set(tasks)
+            cached = {
+                task: entry
+                for task, entry in journal.load().items()
+                if task in wanted
+            }
+            if cached:
+                health.record(
+                    STAGE_EXEC, "campaign-resumed",
+                    detail=(
+                        f"{config.name}: restored {len(cached)}/{len(tasks)} "
+                        f"episode(s) from {checkpoint_dir}"
+                    ),
+                    benign=True,
+                )
+    todo = [task for task in tasks if task not in cached]
+    context = (config, specs, strict, journal is not None)
+
+    fresh: dict[tuple[str, int], object] = {}
+
+    def _episode_done(outcome) -> None:
+        task = todo[outcome.index]
+        fresh[task] = outcome
+        if journal is not None and outcome.ok:
+            records, episode_health, pcap_bytes = outcome.value
+            journal.write(task, records, episode_health, pcap_bytes)
+        if on_episode is not None:
+            on_episode(task, outcome)
+
+    # Graceful shutdown is meaningful only when there is a journal to
+    # resume from; without one, SIGINT stays a plain KeyboardInterrupt.
+    if shutdown is None:
+        shutdown = GracefulShutdown(install_signals=journal is not None)
+    interrupted = False
+    with shutdown:
+        try:
+            pool.map(
+                _campaign_task, todo, context=context,
+                should_stop=shutdown.requested if journal is not None else None,
+                on_outcome=_episode_done,
             )
-            health.record(
-                STAGE_EXEC, "transfer-crashed",
-                detail=f"{config.name} {label}: {outcome.error}",
-            )
-            continue
-        records, episode_health = outcome.value
+        except PoolInterrupted:
+            interrupted = True
+    if interrupted:
+        raise CampaignInterrupted(
+            config.name,
+            completed=len(cached) + len(fresh),
+            total=len(tasks),
+            checkpoint_dir=checkpoint_dir,
+        )
+
+    def _fold(records: list[TransferRecord], episode_health: TraceHealth):
         health.merge(episode_health)
         for record in records:
             result.records.append(record)
             result.total_packets += record.data_packets
             result.total_bytes += record.wire_bytes
+
+    for task in tasks:
+        if task in cached:
+            records, episode_health = cached[task]
+            _fold(records, episode_health)
+            continue
+        outcome = fresh[task]
+        label = _task_label(task, specs)
+        if not outcome.ok:
+            issue_kind = _FAILURE_ISSUE_KINDS.get(
+                outcome.error.kind, "transfer-crashed"
+            )
+            detail = f"{config.name} {label}: {outcome.error}"
+            if outcome.attempts > 1:
+                detail += f" (after {outcome.attempts} attempts)"
+            health.record(STAGE_EXEC, issue_kind, detail=detail)
+            continue
+        if outcome.attempts > 1:
+            last = outcome.retried[-1] if outcome.retried else None
+            health.record(
+                STAGE_EXEC, "task-retried",
+                detail=(
+                    f"{config.name} {label}: succeeded on attempt "
+                    f"{outcome.attempts}"
+                    + (f" after {last}" if last is not None else "")
+                ),
+                benign=True,
+            )
+        records, episode_health, _pcap = outcome.value
+        _fold(records, episode_health)
     return result
 
 
@@ -618,6 +791,7 @@ def run_zero_ack_bug_episode(
     index: int = 0,
     strict: bool = False,
     health: TraceHealth | None = None,
+    pcap_out: io.BufferedIOBase | None = None,
 ) -> TransferRecord | None:
     """A transfer whose sender TCP has the zero-window probe bug."""
     sim = Simulator()
@@ -645,8 +819,19 @@ def run_zero_ack_bug_episode(
     )
     handle = setup.add_router(params)
     setup.start()
-    sim.run(until_us=seconds(900))
+    sim.run(
+        until_us=seconds(900),
+        budget=SimBudget(
+            max_events=config.sim_event_budget,
+            max_wall_s=config.sim_wall_budget_s,
+        )
+        if config.sim_event_budget is not None
+        or config.sim_wall_budget_s is not None
+        else None,
+    )
     records = setup.sniffer.sorted_records()
+    if pcap_out is not None:
+        write_pcap(pcap_out, records)
     report = analyze_pcap(
         records, min_data_packets=2, strict=strict, health=health
     )

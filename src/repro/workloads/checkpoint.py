@@ -1,0 +1,272 @@
+"""Campaign checkpointing and graceful shutdown.
+
+A measurement campaign is hours of simulation; losing it to a reboot,
+an OOM kill, or an operator's Ctrl-C means starting over.  This module
+gives :func:`~repro.workloads.campaign.run_campaign` a durable journal:
+
+* :class:`CampaignJournal` — a checkpoint directory holding one entry
+  per completed episode (the analyzed records, the episode's private
+  :class:`~repro.core.health.TraceHealth` ledger, and the episode's
+  pcap), each written atomically (tmp file → fsync → rename → directory
+  fsync) so a hard kill can never leave a torn entry;
+* a ``manifest.json`` binding the journal to the exact
+  :class:`~repro.workloads.campaign.CampaignConfig` that produced it —
+  resuming under a different config (different seed, transfer count,
+  mixture weights ...) raises :class:`CheckpointMismatch` instead of
+  silently mixing incompatible populations;
+* :class:`GracefulShutdown` — a context manager converting SIGINT and
+  SIGTERM into a cooperative drain request: in-flight episodes finish
+  and are journaled, then :class:`CampaignInterrupted` propagates so
+  the CLI can exit with its dedicated status code.  A second signal
+  falls back to an immediate :class:`KeyboardInterrupt`.
+
+Because every episode is a pure function of its spec (and the specs a
+pure function of the config), a resumed campaign is byte-identical to
+an uninterrupted one: the journal only changes *when* episodes run,
+never *what* they produce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import signal
+import threading
+from pathlib import Path
+from typing import Any
+
+#: bump when the on-disk entry layout changes incompatibly.
+FORMAT = 1
+
+#: a journal entry key: ("episode" | "zero-bug", index).
+TaskKey = tuple[str, int]
+
+
+class CheckpointMismatch(ValueError):
+    """The checkpoint directory belongs to a different campaign config."""
+
+
+class CampaignInterrupted(Exception):
+    """A campaign drained after SIGINT/SIGTERM; the journal is flushed.
+
+    Carries enough for the CLI to report progress and for callers to
+    resume: re-run with ``resume_from=checkpoint_dir`` (or
+    ``tdat campaign ... --resume``) and the campaign continues exactly
+    where it stopped.
+    """
+
+    def __init__(
+        self, campaign: str, completed: int, total: int,
+        checkpoint_dir: str | Path,
+    ) -> None:
+        self.campaign = campaign
+        self.completed = completed
+        self.total = total
+        self.checkpoint_dir = Path(checkpoint_dir)
+        super().__init__(
+            f"campaign {campaign} interrupted: {completed}/{total} "
+            f"episode(s) completed and checkpointed under "
+            f"{self.checkpoint_dir}; re-run with --resume to continue"
+        )
+
+
+def config_digest(config: Any) -> str:
+    """SHA-256 over the config's canonical JSON form.
+
+    Any field change — seed, transfer count, mixture weights, budgets —
+    changes the digest, which is exactly the compatibility contract:
+    resuming is only sound when every episode spec would be re-drawn
+    identically.
+    """
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=str
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` durably: no reader ever observes a torn file."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    # fsync the directory so the rename itself survives a crash.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+class CampaignJournal:
+    """One campaign's checkpoint directory.
+
+    Layout::
+
+        <root>/
+          manifest.json            # config binding (see config_digest)
+          episodes/
+            episode-0007.ckpt      # pickled {task, records, health}
+            episode-0007.pcap      # the episode's capture, as written
+            zero-bug-0000.ckpt     # special episodes use their kind
+
+    A ``.ckpt`` file is the completion marker; it is written last, so
+    an entry either exists completely or not at all.
+    """
+
+    def __init__(self, root: str | Path, config: Any) -> None:
+        self.root = Path(root)
+        self.episodes = self.root / "episodes"
+        self.digest = config_digest(config)
+        self.episodes.mkdir(parents=True, exist_ok=True)
+        manifest = self.root / "manifest.json"
+        if manifest.exists():
+            try:
+                recorded = json.loads(manifest.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise CheckpointMismatch(
+                    f"unreadable checkpoint manifest {manifest}: {exc}"
+                ) from exc
+            if recorded.get("config_sha256") != self.digest:
+                raise CheckpointMismatch(
+                    f"checkpoint at {self.root} was written by a different "
+                    f"campaign configuration (manifest "
+                    f"{recorded.get('config_sha256', '?')[:12]}..., current "
+                    f"{self.digest[:12]}...); refusing to mix results"
+                )
+        else:
+            _atomic_write(
+                manifest,
+                json.dumps(
+                    {
+                        "format": FORMAT,
+                        "campaign": getattr(config, "name", "?"),
+                        "config": dataclasses.asdict(config),
+                        "config_sha256": self.digest,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                    default=str,
+                ).encode() + b"\n",
+            )
+
+    @staticmethod
+    def entry_name(task: TaskKey) -> str:
+        kind, index = task
+        return f"{kind}-{index:04d}"
+
+    def write(
+        self,
+        task: TaskKey,
+        records: list,
+        health: Any,
+        pcap_bytes: bytes | None,
+    ) -> None:
+        """Persist one completed episode (pcap first, marker last)."""
+        name = self.entry_name(task)
+        if pcap_bytes is not None:
+            _atomic_write(self.episodes / f"{name}.pcap", pcap_bytes)
+        payload = pickle.dumps(
+            {
+                "format": FORMAT,
+                "task": tuple(task),
+                "records": records,
+                "health": health,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        _atomic_write(self.episodes / f"{name}.ckpt", payload)
+
+    def load(self) -> dict[TaskKey, tuple[list, Any]]:
+        """Every completed entry: ``{task: (records, health)}``.
+
+        An entry that fails to unpickle (wrong format version, partial
+        copy from another machine) is skipped — the episode simply
+        re-runs, which is always sound.
+        """
+        completed: dict[TaskKey, tuple[list, Any]] = {}
+        for path in sorted(self.episodes.glob("*.ckpt")):
+            try:
+                entry = pickle.loads(path.read_bytes())
+                if entry.get("format") != FORMAT:
+                    continue
+                completed[tuple(entry["task"])] = (
+                    entry["records"], entry["health"],
+                )
+            except Exception:  # noqa: BLE001 - damaged entry == rerun
+                continue
+        return completed
+
+
+class GracefulShutdown:
+    """Convert termination signals into a cooperative drain request.
+
+    Used as a context manager around a pool run.  The first SIGINT or
+    SIGTERM sets the drain flag (polled by
+    :meth:`~repro.exec.pool.WorkPool.map` via :meth:`requested`); a
+    second one restores the previous handlers and raises
+    :class:`KeyboardInterrupt` immediately — the operator's escape
+    hatch when draining itself wedges.
+
+    ``install_signals=False`` gives a purely programmatic instance
+    (tests, embedding apps) driven via :meth:`request`.  Handlers are
+    only ever installed from the main thread; elsewhere the instance
+    degrades to programmatic mode.
+    """
+
+    def __init__(self, install_signals: bool = True) -> None:
+        self._event = threading.Event()
+        self._previous: dict[int, Any] = {}
+        self._install = install_signals
+        self.signals_installed = False
+
+    def __enter__(self) -> "GracefulShutdown":
+        if (
+            self._install
+            and threading.current_thread() is threading.main_thread()
+        ):
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    self._previous[signum] = signal.signal(
+                        signum, self._handle
+                    )
+                except (ValueError, OSError):
+                    continue
+            self.signals_installed = bool(self._previous)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._restore()
+
+    def _restore(self) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                continue
+        self._previous.clear()
+        self.signals_installed = False
+
+    def _handle(self, signum, frame) -> None:
+        if self._event.is_set():
+            self._restore()
+            raise KeyboardInterrupt
+        self._event.set()
+
+    def request(self) -> None:
+        """Programmatically request a drain (what a signal would do)."""
+        self._event.set()
+
+    def requested(self) -> bool:
+        """True once a drain has been requested; the pool's poll hook."""
+        return self._event.is_set()

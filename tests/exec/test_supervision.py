@@ -1,0 +1,200 @@
+"""Supervision: timeouts, retries, crash recovery, leak-free shutdown."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.exec.pool import (
+    CRASH_KIND,
+    TIMEOUT_KIND,
+    PoolInterrupted,
+    TransientTaskError,
+    WorkPool,
+    task_attempt,
+)
+
+
+# Task functions must be module-level to be picklable by reference.
+def _square(x: int) -> int:
+    return x * x
+
+
+def _flaky(x: int) -> int:
+    """Fails the first time it runs, succeeds on any retry."""
+    if task_attempt() == 0:
+        raise TransientTaskError(f"first-attempt failure on {x}")
+    return x * x
+
+
+def _always_transient(x: int) -> int:
+    raise TransientTaskError(f"never succeeds on {x}")
+
+
+def _not_retryable(x: int) -> int:
+    raise ValueError(f"deterministic failure on {x}")
+
+
+def _crash_once(x: int) -> int:
+    """Hard-kills its worker process on the first attempt of item 2."""
+    if x == 2 and task_attempt() == 0:
+        os._exit(7)
+    return x * x
+
+
+def _hang_on_two(x: int) -> int:
+    if x == 2:
+        time.sleep(60.0)
+    return x * x
+
+
+def _slow_square(x: int) -> int:
+    time.sleep(0.3)
+    return x * x
+
+
+def _assert_no_leaked_children():
+    # Give straggling worker processes a beat to be reaped.
+    deadline = time.monotonic() + 3.0
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+class TestRetries:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_transient_failure_recovered(self, workers):
+        pool = WorkPool(workers=workers, max_retries=2, retry_backoff_s=0.0)
+        outcomes = pool.map(_flaky, [1, 2, 3])
+        assert [o.value for o in outcomes] == [1, 4, 9]
+        for outcome in outcomes:
+            assert outcome.ok
+            assert outcome.attempts == 2
+            assert len(outcome.retried) == 1
+            assert outcome.retried[0].kind == "TransientTaskError"
+        assert pool.stats["retries"] == 3
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_retries_exhausted(self, workers):
+        pool = WorkPool(workers=workers, max_retries=2, retry_backoff_s=0.0)
+        outcomes = pool.map(_always_transient, [1, 2])
+        for outcome in outcomes:
+            assert not outcome.ok
+            assert outcome.attempts == 3
+            assert len(outcome.retried) == 2
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_deterministic_failures_not_retried(self, workers):
+        pool = WorkPool(workers=workers, max_retries=5, retry_backoff_s=0.0)
+        outcomes = pool.map(_not_retryable, [1])
+        assert outcomes[0].attempts == 1
+        assert outcomes[0].error.kind == "ValueError"
+        assert not outcomes[0].error.retryable
+        assert pool.stats["retries"] == 0
+
+    def test_retry_delay_deterministic_and_bounded(self):
+        pool = WorkPool(workers=1, max_retries=3, retry_backoff_s=0.1)
+        d1 = pool.retry_delay(7, 1)
+        assert d1 == pool.retry_delay(7, 1)  # reproducible
+        assert 0.05 <= d1 < 0.1  # base * [0.5, 1.0)
+        d2 = pool.retry_delay(7, 2)
+        assert 0.1 <= d2 < 0.2  # doubled
+        assert pool.retry_delay(8, 1) != d1  # decorrelated across tasks
+        assert WorkPool(workers=1, retry_backoff_s=0.0).retry_delay(7, 1) == 0.0
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_replaced_and_task_retried(self):
+        pool = WorkPool(workers=2, max_retries=1, retry_backoff_s=0.0)
+        outcomes = pool.map(_crash_once, [1, 2, 3, 4])
+        assert [o.value for o in outcomes] == [1, 4, 9, 16]
+        crashed = outcomes[1]
+        assert crashed.attempts == 2
+        assert crashed.retried[0].kind == CRASH_KIND
+        assert pool.stats["crashes"] >= 1
+        _assert_no_leaked_children()
+
+    def test_crash_without_retries_is_contained(self):
+        pool = WorkPool(workers=2)
+        outcomes = pool.map(_crash_once, [1, 2, 3, 4])
+        assert not outcomes[1].ok
+        assert outcomes[1].error.kind == CRASH_KIND
+        assert outcomes[1].error.retryable
+        # Siblings were unaffected by the dead worker.
+        assert [outcomes[i].value for i in (0, 2, 3)] == [1, 9, 16]
+        _assert_no_leaked_children()
+
+
+class TestTimeouts:
+    def test_hung_task_killed_siblings_finish(self):
+        pool = WorkPool(workers=2, task_timeout=1.0)
+        start = time.monotonic()
+        outcomes = pool.map(_hang_on_two, [1, 2, 3, 4])
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0  # nowhere near the 60s hang
+        assert not outcomes[1].ok
+        assert outcomes[1].error.kind == TIMEOUT_KIND
+        assert outcomes[1].error.retryable
+        assert [outcomes[i].value for i in (0, 2, 3)] == [1, 9, 16]
+        assert pool.stats["timeouts"] == 1
+        _assert_no_leaked_children()
+
+    def test_heartbeats_observed(self):
+        pool = WorkPool(workers=2, heartbeat_interval_s=0.05)
+        pool.map(_slow_square, [1, 2, 3, 4])
+        assert pool.stats["beats"] > 0
+
+
+class TestCooperativeStop:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_should_stop_drains_and_raises(self, workers):
+        pool = WorkPool(workers=workers)
+        seen = []
+
+        def on_outcome(outcome):
+            seen.append(outcome.index)
+
+        def should_stop():
+            return len(seen) >= 2
+
+        with pytest.raises(PoolInterrupted) as err:
+            pool.map(
+                _slow_square, list(range(8)),
+                should_stop=should_stop, on_outcome=on_outcome,
+            )
+        outcomes = err.value.outcomes
+        assert 2 <= len(outcomes) < 8
+        # Partial outcomes come back in submission order and are valid.
+        assert [o.index for o in outcomes] == sorted(o.index for o in outcomes)
+        for outcome in outcomes:
+            assert outcome.value == outcome.index**2
+        _assert_no_leaked_children()
+
+
+class TestShutdownNeverLeaks:
+    def test_unpicklable_submission_reaps_workers(self):
+        # Regression: an unpicklable item used to raise out of map()
+        # mid-submission and leave live worker processes behind.
+        pool = WorkPool(workers=2)
+        items = [1, 2, lambda: None, 4, 5, 6]  # lambdas don't pickle
+        with pytest.raises(Exception):
+            pool.map(_square, items)
+        _assert_no_leaked_children()
+
+    def test_clean_map_leaves_no_children(self):
+        WorkPool(workers=4).map(_square, list(range(16)))
+        _assert_no_leaked_children()
+
+
+class TestDeterminismUnderSupervision:
+    def test_retried_run_matches_clean_serial_run(self):
+        clean = [o.value for o in WorkPool(workers=1).map(_square, [1, 2, 3])]
+        for workers in (1, 2, 4):
+            pool = WorkPool(
+                workers=workers, max_retries=2, retry_backoff_s=0.0
+            )
+            values = [o.value for o in pool.map(_flaky, [1, 2, 3])]
+            assert values == clean

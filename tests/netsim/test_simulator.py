@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.netsim.simulator import PeriodicTimer, Simulator, Timer
+from repro.netsim.simulator import (
+    BUDGET_EVENTS,
+    BUDGET_WALL_CLOCK,
+    PeriodicTimer,
+    SimBudget,
+    SimBudgetExceeded,
+    Simulator,
+    Timer,
+)
 
 
 class TestSimulator:
@@ -166,3 +174,43 @@ class TestPeriodicTimer:
     def test_zero_interval_rejected(self):
         with pytest.raises(ValueError):
             PeriodicTimer(Simulator(), 0, lambda: None)
+
+
+class TestSimBudget:
+    @staticmethod
+    def _endless(sim):
+        """A self-rescheduling event: the shape of a pathological loop."""
+        def tick():
+            sim.schedule(1, tick)
+        sim.schedule(1, tick)
+
+    def test_event_budget_raises(self):
+        sim = Simulator()
+        self._endless(sim)
+        with pytest.raises(SimBudgetExceeded) as err:
+            sim.run(budget=SimBudget(max_events=100))
+        assert err.value.reason == BUDGET_EVENTS
+        assert err.value.events == 100
+        assert not err.value.retryable  # deterministic: same seed, same count
+
+    def test_wall_clock_budget_raises_retryable(self):
+        sim = Simulator()
+        self._endless(sim)
+        with pytest.raises(SimBudgetExceeded) as err:
+            sim.run(budget=SimBudget(max_wall_s=0.0, wall_check_every=1))
+        assert err.value.reason == BUDGET_WALL_CLOCK
+        assert err.value.retryable  # host load dependent: worth a retry
+
+    def test_budget_not_hit_is_invisible(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i, fired.append, i)
+        executed = sim.run(budget=SimBudget(max_events=1000, max_wall_s=60.0))
+        assert executed == 10
+        assert fired == list(range(10))
+
+    def test_legacy_max_events_still_stops_silently(self):
+        sim = Simulator()
+        self._endless(sim)
+        assert sim.run(max_events=50) == 50

@@ -8,6 +8,7 @@ from repro.faults.fuzz import clean_trace_bytes
 from repro.tools import tdat_cli
 from repro.tools.tdat_cli import (
     EXIT_ERROR,
+    EXIT_INTERRUPTED,
     EXIT_ISSUES,
     EXIT_NOTHING,
     EXIT_OK,
@@ -117,3 +118,62 @@ class TestOtherSubcommands:
         out = capsys.readouterr().out
         for name in tdat_cli.SUBCOMMANDS:
             assert name in out
+
+
+class TestSupervision:
+    def test_retries_recover_injected_crash(self, capsys):
+        rc = main([
+            "campaign", "ISP_A-Quagga",
+            "--transfers", "2", "--seed", "5", "--workers", "2",
+            "--fail-episode", "0", "--max-retries", "2", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        # The transient crash was retried away: full record set, the
+        # recovery accounted as a benign issue, exit code clean.
+        assert rc == EXIT_OK
+        assert payload["health"]["by_kind"].get("task-retried") == 1
+        assert payload["health"]["by_kind"].get("transfer-crashed") is None
+
+    def test_checkpoint_then_resume_round_trip(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        args = [
+            "campaign", "ISP_A-Quagga", "--transfers", "2", "--seed", "5",
+            "--checkpoint-dir", str(ckpt), "--json",
+        ]
+        assert main(args) == EXIT_OK
+        first = json.loads(capsys.readouterr().out)
+        rc = main(args + ["--resume"])
+        resumed = json.loads(capsys.readouterr().out)
+        assert rc == EXIT_OK  # campaign-resumed marker is benign
+        assert resumed["records"] == first["records"]
+        assert resumed["health"]["by_kind"].get("campaign-resumed") == 1
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "ISP_A-Quagga", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_with_changed_seed_is_an_error(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        base = ["campaign", "ISP_A-Quagga", "--transfers", "2",
+                "--checkpoint-dir", str(ckpt)]
+        assert main(base + ["--seed", "5"]) == EXIT_OK
+        capsys.readouterr()
+        rc = main(base + ["--seed", "6", "--resume"])
+        assert rc == EXIT_ERROR
+        assert "different" in capsys.readouterr().err
+
+    def test_exit_code_table_in_help(self, capsys):
+        for argv in (["--help"], ["campaign", "--help"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 0
+            out = capsys.readouterr().out
+            assert "exit codes:" in out
+            assert "re-run with --resume" in out
+
+    def test_exit_code_values_documented(self):
+        # The numeric contract the table and CI scripts rely on.
+        assert (EXIT_OK, EXIT_NOTHING, EXIT_ERROR, EXIT_ISSUES,
+                EXIT_INTERRUPTED) == (0, 1, 2, 3, 4)

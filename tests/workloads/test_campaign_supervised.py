@@ -1,0 +1,203 @@
+"""Supervised campaigns: retries, checkpoints, resume, watchdog budgets.
+
+The contract under test is the robustness acceptance criterion: a
+campaign that crashes transiently, is interrupted, or hits a watchdog
+budget must still end in a result byte-identical to (or an accounted
+subset of) the clean uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.core.health import STAGE_EXEC, TraceHealth
+from repro.exec.pool import WorkPool
+from repro.workloads.campaign import (
+    CampaignResult,
+    isp_quagga_config,
+    run_campaign,
+)
+from repro.workloads.checkpoint import (
+    CampaignInterrupted,
+    CampaignJournal,
+    CheckpointMismatch,
+    GracefulShutdown,
+    config_digest,
+)
+
+TRANSFERS = 3
+SEED = 5
+
+
+def _small_config(**overrides):
+    config = isp_quagga_config(seed=SEED, transfers=TRANSFERS)
+    config.zero_bug_episodes = 0
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def _dump(result: CampaignResult) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def clean_result():
+    return run_campaign(_small_config(), workers=1)
+
+
+class TestRetriedRunByteIdentity:
+    """Satellite: injected transient crashes + retries == clean run."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_recovered_campaign_matches_clean_run(self, clean_result, workers):
+        pool = WorkPool(workers=workers, max_retries=2, retry_backoff_s=0.0)
+        result = run_campaign(
+            _small_config(fail_episodes=(0, 1)), pool=pool
+        )
+        # All episodes recovered; records byte-identical to the clean run.
+        assert len(result.records) == TRANSFERS
+        assert [r.to_dict() for r in result.records] == [
+            r.to_dict() for r in clean_result.records
+        ]
+        # The recoveries are accounted, but benign: no failures.
+        retried = [
+            i for i in result.health.issues if i.kind == "task-retried"
+        ]
+        assert len(retried) == 2
+        assert all(i.benign and i.stage == STAGE_EXEC for i in retried)
+        assert result.health.failures == []
+
+    def test_retried_pcap_checkpoints_match_clean_checkpoints(
+        self, tmp_path
+    ):
+        clean_dir = tmp_path / "clean"
+        retried_dir = tmp_path / "retried"
+        run_campaign(_small_config(), checkpoint_dir=clean_dir)
+        pool = WorkPool(workers=2, max_retries=2, retry_backoff_s=0.0)
+        run_campaign(
+            _small_config(fail_episodes=(1,)),
+            pool=pool, checkpoint_dir=retried_dir,
+        )
+        clean_pcaps = sorted((clean_dir / "episodes").glob("*.pcap"))
+        retried_pcaps = sorted((retried_dir / "episodes").glob("*.pcap"))
+        assert [p.name for p in clean_pcaps] == [
+            p.name for p in retried_pcaps
+        ]
+        for a, b in zip(clean_pcaps, retried_pcaps):
+            assert a.read_bytes() == b.read_bytes()
+
+
+class TestInterruptAndResume:
+    """Satellite: kill mid-run, resume, merged result == clean run."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_resumed_run_equals_uninterrupted_run(
+        self, clean_result, tmp_path, workers
+    ):
+        ckpt = tmp_path / "ckpt"
+        shutdown = GracefulShutdown(install_signals=False)
+        done = []
+
+        def stop_after_one(task, outcome):
+            done.append(task)
+            if len(done) >= 1:
+                shutdown.request()
+
+        with pytest.raises(CampaignInterrupted) as err:
+            run_campaign(
+                _small_config(), workers=workers,
+                checkpoint_dir=ckpt, shutdown=shutdown,
+                on_episode=stop_after_one,
+            )
+        assert 1 <= err.value.completed < err.value.total
+        assert err.value.checkpoint_dir == ckpt
+        assert "--resume" in str(err.value)
+
+        health = TraceHealth()
+        resumed = run_campaign(
+            _small_config(), workers=workers,
+            checkpoint_dir=ckpt, resume_from=ckpt, health=health,
+        )
+        # Byte-identical records, totals, and per-record payloads —
+        # including ordering, which the fold reconstructs from the
+        # submission order, not the completion order.
+        assert len(resumed.records) == len(clean_result.records)
+        assert [r.to_dict() for r in resumed.records] == [
+            r.to_dict() for r in clean_result.records
+        ]
+        assert resumed.total_packets == clean_result.total_packets
+        assert resumed.total_bytes == clean_result.total_bytes
+        # The only health delta vs. a clean run is the benign marker.
+        marker = [i for i in health.issues if i.kind == "campaign-resumed"]
+        assert len(marker) == 1
+        assert marker[0].benign
+        assert health.failures == []
+
+    def test_resume_of_complete_checkpoint_runs_nothing(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        first = run_campaign(_small_config(), checkpoint_dir=ckpt)
+        ran = []
+        resumed = run_campaign(
+            _small_config(), checkpoint_dir=ckpt, resume_from=ckpt,
+            on_episode=lambda task, outcome: ran.append(task),
+        )
+        assert ran == []  # every episode restored from the journal
+        assert [r.to_dict() for r in resumed.records] == [
+            r.to_dict() for r in first.records
+        ]
+
+
+class TestCheckpointJournal:
+    def test_layout_and_completion_markers(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        run_campaign(_small_config(), checkpoint_dir=ckpt)
+        assert (ckpt / "manifest.json").exists()
+        ckpts = sorted(p.name for p in (ckpt / "episodes").glob("*.ckpt"))
+        pcaps = sorted(p.name for p in (ckpt / "episodes").glob("*.pcap"))
+        assert len(ckpts) == TRANSFERS
+        assert [n.removesuffix(".ckpt") for n in ckpts] == [
+            n.removesuffix(".pcap") for n in pcaps
+        ]
+        manifest = json.loads((ckpt / "manifest.json").read_text())
+        assert manifest["config_sha256"] == config_digest(_small_config())
+
+    def test_resume_under_different_config_refuses(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        run_campaign(_small_config(), checkpoint_dir=ckpt)
+        with pytest.raises(CheckpointMismatch, match="different"):
+            run_campaign(
+                _small_config(seed=SEED + 1),
+                checkpoint_dir=ckpt, resume_from=ckpt,
+            )
+
+    def test_torn_entry_is_rerun_not_trusted(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        run_campaign(_small_config(), checkpoint_dir=ckpt)
+        victim = sorted((ckpt / "episodes").glob("*.ckpt"))[0]
+        victim.write_bytes(b"torn write, not a pickle")
+        journal = CampaignJournal(ckpt, _small_config())
+        assert len(journal.load()) == TRANSFERS - 1
+        ran = []
+        run_campaign(
+            _small_config(), checkpoint_dir=ckpt, resume_from=ckpt,
+            on_episode=lambda task, outcome: ran.append(task),
+        )
+        assert len(ran) == 1  # only the damaged episode re-ran
+
+
+class TestWatchdogContainment:
+    def test_event_budget_contains_pathological_episode(self):
+        # A budget far below any real episode: every episode aborts,
+        # the campaign itself still completes and accounts each one.
+        result = run_campaign(_small_config(sim_event_budget=10))
+        assert result.records == []
+        issues = result.health.failures
+        assert issues, "budget aborts must surface as failures"
+        assert {i.kind for i in issues} == {"sim-budget-exceeded"}
+        assert all(i.stage == STAGE_EXEC for i in issues)
+
+    def test_generous_budget_is_invisible(self, clean_result):
+        result = run_campaign(_small_config())  # default 5M events
+        assert result.health.ok
+        assert _dump(result) == _dump(clean_result)
