@@ -8,6 +8,7 @@ TCP connection in a capture and returns a structured report.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import BinaryIO
@@ -38,6 +39,7 @@ from repro.analysis.series import (
 from repro.analysis.voids import CaptureVoidReport, find_capture_voids
 from repro.core.health import IngestError, STAGE_ANALYSIS, TraceHealth
 from repro.exec.pool import WorkPool, task_context
+from repro.obs import get_obs
 from repro.wire.pcap import PcapRecord
 
 
@@ -90,24 +92,49 @@ def analyze_connection(
     With ``exclude_voids`` (the default), periods where the sniffer
     demonstrably lost packets are removed from the factor ratios, per
     the paper's section II-A exclusion rule.
+
+    Each pipeline stage runs inside its own observability span
+    (``analysis.*``), and the whole connection's wall time lands in the
+    ``analysis.connection_s`` histogram — the per-stage/per-connection
+    timings of Figure 10's boxes.
     """
     config = config or SeriesConfig()
+    obs = get_obs()
+    tracer = obs.tracer
+    wall_start = time.monotonic() if obs.enabled else 0.0
     shift_stats = AckShiftStats()
-    if enable_ack_shift and config.sniffer_location != "sender":
-        shift_stats = shift_acks(connection)
-    labeling = label_connection(connection)
-    series = generate_series(connection, labeling, window=window, config=config)
-    voids = find_capture_voids(connection)
+    with tracer.span("analysis.ack_shift", cat="analysis"):
+        if enable_ack_shift and config.sniffer_location != "sender":
+            shift_stats = shift_acks(connection)
+    with tracer.span("analysis.label", cat="analysis"):
+        labeling = label_connection(connection)
+    with tracer.span("analysis.series", cat="analysis"):
+        series = generate_series(
+            connection, labeling, window=window, config=config
+        )
+    with tracer.span("analysis.voids", cat="analysis"):
+        voids = find_capture_voids(connection)
     exclude = voids.void_windows if exclude_voids and voids.detected else None
+    with tracer.span("analysis.classify", cat="analysis"):
+        factors = classify(series, exclude=exclude)
+    with tracer.span("analysis.detectors", cat="analysis"):
+        timer_gaps = detect_timer_gaps(series)
+        consecutive_losses = detect_consecutive_losses(series)
+        zero_ack_bug = detect_zero_ack_bug(series)
+    if obs.enabled:
+        obs.metrics.counter("analysis.connections").inc()
+        obs.metrics.histogram("analysis.connection_s", wall=True).observe(
+            time.monotonic() - wall_start
+        )
     return ConnectionAnalysis(
         connection=connection,
         labeling=labeling,
         ack_shift=shift_stats,
         series=series,
-        factors=classify(series, exclude=exclude),
-        timer_gaps=detect_timer_gaps(series),
-        consecutive_losses=detect_consecutive_losses(series),
-        zero_ack_bug=detect_zero_ack_bug(series),
+        factors=factors,
+        timer_gaps=timer_gaps,
+        consecutive_losses=consecutive_losses,
+        zero_ack_bug=zero_ack_bug,
         capture_voids=voids,
     )
 

@@ -42,6 +42,7 @@ from repro.analysis.tdat import (
 )
 from repro.core.health import TraceHealth
 from repro.exec.pool import WorkPool, available_parallelism
+from repro.obs import Observability, use_obs
 from repro.tools.pcap2bgp import StreamResult, pcap_to_bgp
 from repro.wire.pcap import PcapRecord
 from repro.workloads.campaign import (
@@ -117,11 +118,19 @@ class Pipeline:
     campaign and its follow-up analyses share worker processes.
 
     The supervision knobs flow into that pool: ``task_timeout`` bounds
-    each task's wall clock, ``max_retries`` re-runs transient failures
-    (crashed workers, timeouts, retryable task errors) with the same
-    seed, and ``checkpoint_dir`` journals completed campaign episodes
-    so an interrupted run can be resumed (see
-    :class:`CampaignRequest.resume`).
+    each task's execution wall clock (queue wait exempt),
+    ``max_retries`` re-runs transient failures (crashed workers,
+    timeouts, retryable task errors) with the same seed, and
+    ``checkpoint_dir`` journals completed campaign episodes so an
+    interrupted run can be resumed (see :class:`CampaignRequest.resume`).
+
+    ``obs`` turns on observability for every request run through this
+    pipeline: pass an :class:`~repro.obs.Observability` (to keep a
+    handle on the tracer for exports), or simply ``obs=True`` to build
+    a fresh one.  Campaign results then carry the merged metrics as
+    ``result.metrics``, and ``pipeline.obs.tracer`` holds the spans.
+    Left at ``None`` (the default), every instrumentation point in the
+    engine dispatches through the shared no-op context.
     """
 
     workers: int = 1
@@ -131,11 +140,16 @@ class Pipeline:
     task_timeout: float | None = None
     max_retries: int = 0
     checkpoint_dir: str | Path | None = None
+    obs: Observability | bool | None = None
     _pool: WorkPool | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.workers == 0:
             self.workers = available_parallelism()
+        if self.obs is True:
+            self.obs = Observability.create()
+        elif self.obs is False:
+            self.obs = None
 
     @property
     def pool(self) -> WorkPool:
@@ -209,33 +223,39 @@ class Pipeline:
     # Dispatch                                                           #
     # ------------------------------------------------------------------ #
     def run(self, request: AnalysisRequest | CampaignRequest):
-        """Execute a request built elsewhere (CLI, benchmarks, tests)."""
-        if isinstance(request, AnalysisRequest):
-            workers = self._knob(request.workers, self.workers)
-            return analyze_pcap(
-                request.source,
-                sniffer_location=request.sniffer_location,
-                windows=request.windows,
-                config=request.config,
-                min_data_packets=request.min_data_packets,
-                strict=self._knob(request.strict, self.strict),
-                streaming=self._knob(request.streaming, self.streaming),
-                pool=self.pool if workers == self.workers else self._make_pool(workers),
-            )
-        if isinstance(request, CampaignRequest):
-            if request.seed is None and self.seed is not None:
-                request = replace(request, seed=self.seed)
-            workers = self._knob(request.workers, self.workers)
-            checkpoint_dir = self._knob(
-                request.checkpoint_dir, self.checkpoint_dir
-            )
-            return run_campaign(
-                request.resolve(),
-                strict=self._knob(request.strict, self.strict),
-                pool=self.pool if workers == self.workers else self._make_pool(workers),
-                checkpoint_dir=checkpoint_dir,
-                resume_from=checkpoint_dir if request.resume else None,
-            )
+        """Execute a request built elsewhere (CLI, benchmarks, tests).
+
+        The pipeline's observability context (if any) is ambient for
+        the duration of the request, so every engine layer it touches
+        records into the same registry and tracer.
+        """
+        with use_obs(self.obs or None):
+            if isinstance(request, AnalysisRequest):
+                workers = self._knob(request.workers, self.workers)
+                return analyze_pcap(
+                    request.source,
+                    sniffer_location=request.sniffer_location,
+                    windows=request.windows,
+                    config=request.config,
+                    min_data_packets=request.min_data_packets,
+                    strict=self._knob(request.strict, self.strict),
+                    streaming=self._knob(request.streaming, self.streaming),
+                    pool=self.pool if workers == self.workers else self._make_pool(workers),
+                )
+            if isinstance(request, CampaignRequest):
+                if request.seed is None and self.seed is not None:
+                    request = replace(request, seed=self.seed)
+                workers = self._knob(request.workers, self.workers)
+                checkpoint_dir = self._knob(
+                    request.checkpoint_dir, self.checkpoint_dir
+                )
+                return run_campaign(
+                    request.resolve(),
+                    strict=self._knob(request.strict, self.strict),
+                    pool=self.pool if workers == self.workers else self._make_pool(workers),
+                    checkpoint_dir=checkpoint_dir,
+                    resume_from=checkpoint_dir if request.resume else None,
+                )
         raise TypeError(f"not a pipeline request: {request!r}")
 
     @staticmethod

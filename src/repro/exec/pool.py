@@ -19,7 +19,8 @@ processes, with four guarantees the campaign layer builds on:
 * **supervision** — each worker is driven over its own duplex pipe
   (no shared queues, so killing one worker can never poison a
   sibling's lock), sends heartbeats while busy, and is subject to a
-  per-task wall-clock ``task_timeout``; a crashed, hung, or stalled
+  per-task execution ``task_timeout`` (queue wait exempt); a crashed,
+  hung, or stalled
   worker is terminated and replaced, and its task either retried
   (bounded ``max_retries`` with exponential backoff + deterministic
   jitter) or reported as a retryable :class:`TaskError`;
@@ -57,6 +58,8 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Any
+
+from repro.obs import get_obs, reset_worker_obs
 
 SERIAL = "serial"
 MULTIPROCESSING = "multiprocessing"
@@ -211,6 +214,11 @@ def _worker_main(conn, context: Any, heartbeat_interval_s: float) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # non-main thread / exotic platform
         pass
+    # A forked worker inherits the parent's live observability context;
+    # recordings into it would die with the worker and cost time
+    # meanwhile.  Reset to the no-op path; tasks that want worker-side
+    # observability install their own task-local context.
+    reset_worker_obs()
     _install_context(context)
     send_lock = threading.Lock()
     stop_beats = threading.Event()
@@ -260,7 +268,15 @@ class _Worker:
     busy: tuple[int, int] | None = None  # (task index, attempt)
     payload: tuple | None = None
     retried: tuple[TaskError, ...] = ()
-    started_at: float = 0.0
+    dispatched_at: float = 0.0  # when the parent sent the task
+    enqueued_at: float = 0.0  # when the task became dispatchable
+    # When the worker reported actually *starting* the task.  The
+    # task_timeout clock runs from here, never from dispatch: time a
+    # task spent queued (behind a slow sibling, or behind a spawning
+    # worker's interpreter boot and context unpickle) is not the
+    # task's to pay.  A worker that never reports a start is the
+    # stall/crash detectors' problem, not the timeout's.
+    exec_started_at: float | None = None
     last_beat: float = 0.0
     dead: bool = False
 
@@ -276,10 +292,15 @@ class WorkPool:
 
     Supervision knobs:
 
-    * ``task_timeout`` — wall-clock seconds one task may run before its
-      worker is killed and the task marked :data:`TIMEOUT_KIND`
-      (parallel backend only: the serial backend cannot preempt itself,
-      so in-process hangs are the simulation watchdog's job);
+    * ``task_timeout`` — wall-clock seconds one task may *execute*
+      before its worker is killed and the task marked
+      :data:`TIMEOUT_KIND`.  The clock starts when the worker reports
+      the task started, so time spent queued — behind a slow sibling,
+      or behind a spawning worker's interpreter boot — is never charged
+      against the budget (observable as the ``pool.queue_wait_s``
+      metric).  Parallel backend only: the serial backend cannot
+      preempt itself, so in-process hangs are the simulation watchdog's
+      job;
     * ``max_retries`` — how many times a *retryable* failure (worker
       crash, timeout, stall, :class:`TransientTaskError`) is re-run
       before being reported;
@@ -357,20 +378,41 @@ class WorkPool:
         :class:`PoolInterrupted` is raised with the completed outcomes.
         """
         payloads = [(fn, i, item) for i, item in enumerate(items)]
-        if self.workers <= 1 or len(payloads) <= 1:
-            return self._map_serial(payloads, context, should_stop, on_outcome)
         try:
-            return self._map_supervised(
-                payloads, context, should_stop, on_outcome
-            )
-        except _SpawnFailed as exc:
-            warnings.warn(
-                f"multiprocessing unavailable ({exc.__cause__}); "
-                "falling back to serial execution",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return self._map_serial(payloads, context, should_stop, on_outcome)
+            if self.workers <= 1 or len(payloads) <= 1:
+                return self._map_serial(
+                    payloads, context, should_stop, on_outcome
+                )
+            try:
+                return self._map_supervised(
+                    payloads, context, should_stop, on_outcome
+                )
+            except _SpawnFailed as exc:
+                warnings.warn(
+                    f"multiprocessing unavailable ({exc.__cause__}); "
+                    "falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return self._map_serial(
+                    payloads, context, should_stop, on_outcome
+                )
+        finally:
+            self._flush_stats_metrics()
+
+    def _flush_stats_metrics(self) -> None:
+        """Publish the supervisor's per-map stats as pool counters.
+
+        All pool metrics are wall-domain: what the supervisor saw
+        depends on the execution substrate (worker count, host load),
+        so none of them participate in deterministic snapshots.
+        """
+        obs = get_obs()
+        if not obs.enabled:
+            return
+        for key, value in self.stats.items():
+            if value:
+                obs.metrics.counter(f"pool.{key}", wall=True).inc(value)
 
     # ------------------------------------------------------------------ #
     # Serial backend                                                     #
@@ -384,12 +426,27 @@ class WorkPool:
     ) -> list[TaskOutcome]:
         _install_context(context)
         self.stats = _fresh_stats()
+        obs = get_obs()
+        map_started = time.monotonic()
         try:
             outcomes: list[TaskOutcome] = []
             for payload in payloads:
                 if should_stop is not None and should_stop():
                     raise PoolInterrupted(outcomes)
-                outcome = self._run_with_retries(payload)
+                if obs.enabled:
+                    # Serially, a task "queues" behind every task ahead
+                    # of it — the same wait the parallel backend would
+                    # measure, just with one lane.
+                    started = time.monotonic()
+                    obs.metrics.histogram(
+                        "pool.queue_wait_s", wall=True
+                    ).observe(started - map_started)
+                    outcome = self._run_with_retries(payload)
+                    obs.metrics.histogram(
+                        "pool.execute_s", wall=True
+                    ).observe(time.monotonic() - started)
+                else:
+                    outcome = self._run_with_retries(payload)
                 outcomes.append(outcome)
                 if on_outcome is not None:
                     on_outcome(outcome)
@@ -449,10 +506,14 @@ class WorkPool:
         ctx = multiprocessing.get_context(self.start_method)
         total = len(payloads)
         self.stats = _fresh_stats()
+        obs = get_obs()
         results: dict[int, TaskOutcome] = {}
-        # (attempt, payload, retried-errors) not yet dispatched.
-        pending: deque[tuple[int, tuple, tuple[TaskError, ...]]] = deque(
-            (0, payload, ()) for payload in payloads
+        # (attempt, payload, retried-errors, enqueued-at) not yet
+        # dispatched; enqueued-at marks when the task became
+        # dispatchable, the zero point of its queue-wait measurement.
+        map_started = time.monotonic()
+        pending: deque[tuple[int, tuple, tuple[TaskError, ...], float]] = deque(
+            (0, payload, (), map_started) for payload in payloads
         )
         # min-heap of retries waiting out their backoff delay.
         delayed: list[tuple[float, int, int, tuple, tuple]] = []
@@ -468,6 +529,7 @@ class WorkPool:
             worker.busy = None
             worker.payload = None
             worker.retried = ()
+            worker.exec_started_at = None
             if (
                 outcome.ok
                 or not outcome.error.retryable
@@ -504,7 +566,10 @@ class WorkPool:
                 now = time.monotonic()
                 while delayed and delayed[0][0] <= now:
                     _, _, attempt, payload, retried = heapq.heappop(delayed)
-                    pending.append((attempt, payload, retried))
+                    # A retry is dispatchable only once its backoff has
+                    # elapsed; its queue wait starts now, not when the
+                    # failed attempt resolved.
+                    pending.append((attempt, payload, retried, now))
                 if not stopping and should_stop is not None and should_stop():
                     stopping = True
                 if stopping:
@@ -528,12 +593,16 @@ class WorkPool:
                 if not stopping:
                     for worker in workers:
                         if worker.busy is None and pending:
-                            attempt, payload, retried = pending.popleft()
+                            attempt, payload, retried, queued_at = (
+                                pending.popleft()
+                            )
                             worker.conn.send(("task", attempt, payload))
                             worker.busy = (payload[1], attempt)
                             worker.payload = payload
                             worker.retried = retried
-                            worker.started_at = now
+                            worker.dispatched_at = now
+                            worker.enqueued_at = queued_at
+                            worker.exec_started_at = None
                             worker.last_beat = now
                 # Wait for worker messages (or a tick, to re-check
                 # timeouts, stalls, deaths and cancellation).
@@ -553,11 +622,29 @@ class WorkPool:
                         continue
                     tag = message[0]
                     if tag == "beat":
+                        if obs.enabled and worker.last_beat:
+                            obs.metrics.histogram(
+                                "pool.heartbeat_gap_s", wall=True
+                            ).observe(now - worker.last_beat)
                         worker.last_beat = now
                         self.stats["beats"] += 1
                     elif tag == "start":
+                        # The worker has actually begun executing: the
+                        # task_timeout clock starts here, and everything
+                        # before it — queued behind a busy sibling, a
+                        # spawning worker's interpreter boot, context
+                        # unpickling — is accounted as queue wait.
+                        worker.exec_started_at = now
                         worker.last_beat = now
+                        if obs.enabled:
+                            obs.metrics.histogram(
+                                "pool.queue_wait_s", wall=True
+                            ).observe(now - worker.enqueued_at)
                     elif tag == "done" and worker.busy is not None:
+                        if obs.enabled and worker.exec_started_at is not None:
+                            obs.metrics.histogram(
+                                "pool.execute_s", wall=True
+                            ).observe(now - worker.exec_started_at)
                         resolve(worker, message[1], now)
                 # Reconcile worker health: kill the hung and stalled,
                 # account the dead, replace whoever more work needs.
@@ -571,10 +658,19 @@ class WorkPool:
                             f"while running its task"
                         )
                     elif worker.busy is not None:
-                        elapsed = now - worker.started_at
+                        # Timeout runs from the worker's reported exec
+                        # start, never from dispatch: queue wait is not
+                        # the task's to pay.  A worker that never sends
+                        # "start" is covered by stall/crash detection.
+                        elapsed = (
+                            now - worker.exec_started_at
+                            if worker.exec_started_at is not None
+                            else 0.0
+                        )
                         beat_gap = now - worker.last_beat
                         if (
                             self.task_timeout is not None
+                            and worker.exec_started_at is not None
                             and elapsed > self.task_timeout
                         ):
                             retire_kind = TIMEOUT_KIND

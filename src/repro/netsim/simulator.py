@@ -17,6 +17,8 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs import CLOCK_SIM, get_obs
+
 #: how SimBudgetExceeded.reason names the exhausted resource.
 BUDGET_EVENTS = "events"
 BUDGET_WALL_CLOCK = "wall-clock"
@@ -142,6 +144,13 @@ class Simulator:
         """
         executed = 0
         self._running = True
+        # Observability is aggregated per *run*, never per event: the
+        # totals flush once into the ambient registry when the run
+        # ends, so the hot loop's per-event cost is unchanged whether
+        # observability is on or off.
+        obs = get_obs()
+        start_time_us = self._now
+        queue_peak = len(self._heap)
         started = time.monotonic() if budget is not None else 0.0
         try:
             while self._heap:
@@ -174,8 +183,32 @@ class Simulator:
                 self._now = event.time
                 event.callback(*event.args)
                 executed += 1
+                # Deterministic queue-depth sampling: the sampling
+                # points are event counts, so the observed peak is a
+                # property of the scenario, not of the host.
+                if obs.enabled and not executed % 4096:
+                    depth = len(self._heap)
+                    if depth > queue_peak:
+                        queue_peak = depth
         finally:
             self._running = False
+            if obs.enabled:
+                metrics = obs.metrics
+                metrics.counter("sim.events").inc(executed)
+                metrics.counter("sim.runs").inc()
+                depth = len(self._heap)
+                metrics.gauge("sim.queue_depth").set(max(queue_peak, depth))
+                if budget is not None and budget.max_events:
+                    metrics.gauge("sim.budget_consumed").set(
+                        executed / budget.max_events
+                    )
+                obs.tracer.add_span(
+                    "sim.run",
+                    start_us=start_time_us,
+                    dur_us=self._now - start_time_us,
+                    clock=CLOCK_SIM,
+                    args={"events": executed},
+                )
         return executed
 
     def pending(self) -> int:

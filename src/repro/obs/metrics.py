@@ -1,0 +1,374 @@
+"""Metrics: counters, gauges and fixed-bucket histograms.
+
+The paper's T-DAT attributes every second of a slow transfer to a
+cause; this registry is the same discipline applied to the pipeline
+itself — every event processed, byte ingested, task queued and journal
+fsync is countable, so a slow campaign can be diagnosed from its
+metrics instead of post-mortem guesswork.
+
+Three design constraints shape the API:
+
+* **cheap when disabled** — instrumented code obtains its registry
+  through :func:`repro.obs.runtime.get_obs`; with observability off
+  that returns the module-level :data:`NULL_REGISTRY`, whose
+  instruments are shared no-op singletons.  The disabled cost of an
+  instrumentation point is one attribute lookup and an empty method
+  call, and hot loops (the simulator's event loop) aggregate locally
+  and flush once per run, so even that cost is paid per *run*, not per
+  event;
+* **picklable** — instruments are plain ``__slots__`` objects and the
+  registry a plain object of dicts, so a per-worker registry crosses a
+  :class:`~repro.exec.pool.WorkPool` process boundary unchanged;
+* **mergeable, deterministically** — counters add, histograms add
+  bucket-wise, gauges keep their peak (an order-independent fold), so
+  folding per-worker registries in task order yields the same snapshot
+  regardless of how many workers ran or in what order they finished.
+
+Every instrument carries a ``wall`` flag: wall-domain metrics (task
+timings, heartbeat gaps — anything measured against the host clock or
+the execution substrate) are excluded from
+:meth:`MetricsRegistry.to_dict(deterministic_only=True) <MetricsRegistry.to_dict>`,
+the view that must be byte-identical between serial and parallel runs.
+"""
+
+from __future__ import annotations
+
+#: default bucket upper bounds for wall-clock duration histograms, in
+#: seconds: microsecond ingest ops up to multi-minute campaign stages.
+SECONDS_BUCKETS = (
+    0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+    60.0, 300.0,
+)
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "wall", "value")
+
+    def __init__(self, name: str, wall: bool = False) -> None:
+        self.name = name
+        self.wall = wall
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+        self.wall = self.wall or other.wall
+
+
+class Gauge:
+    """A point-in-time value; the peak is the order-independent view.
+
+    ``value`` is the most recently set sample (meaningful only when
+    sets happen in a deterministic order, as the campaign fold does);
+    ``peak`` is the maximum ever set, which merges commutatively.
+    """
+
+    __slots__ = ("name", "wall", "value", "peak", "samples")
+
+    def __init__(self, name: str, wall: bool = False) -> None:
+        self.name = name
+        self.wall = wall
+        self.value = 0
+        self.peak = 0
+        self.samples = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+        if self.samples == 0 or value > self.peak:
+            self.peak = value
+        self.samples += 1
+
+    def merge(self, other: "Gauge") -> None:
+        if other.samples:
+            self.value = other.value
+            if self.samples == 0 or other.peak > self.peak:
+                self.peak = other.peak
+            self.samples += other.samples
+        self.wall = self.wall or other.wall
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus count/total/min/max.
+
+    ``bounds`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything above the last bound.  Fixed buckets are what
+    makes two independently collected histograms mergeable without
+    rebinning.
+    """
+
+    __slots__ = ("name", "wall", "bounds", "counts", "count", "total",
+                 "vmin", "vmax")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = SECONDS_BUCKETS,
+        wall: bool = False,
+    ) -> None:
+        self.name = name
+        self.wall = wall
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = 0.0
+        self.vmax = 0.0
+
+    def observe(self, value: int | float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        if self.count == 0:
+            self.vmin = self.vmax = value
+        else:
+            self.vmin = min(self.vmin, value)
+            self.vmax = max(self.vmax, value)
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"histogram {self.name}: bucket bounds differ "
+                f"({self.bounds} vs {other.bounds}); cannot merge"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        if other.count:
+            if self.count == 0:
+                self.vmin, self.vmax = other.vmin, other.vmax
+            else:
+                self.vmin = min(self.vmin, other.vmin)
+                self.vmax = max(self.vmax, other.vmax)
+        self.count += other.count
+        self.total += other.total
+        self.wall = self.wall or other.wall
+
+
+class MetricsRegistry:
+    """A namespace of instruments, get-or-create by name.
+
+    One registry per observability context: the campaign parent has
+    one, every worker task builds its own, and per-worker registries
+    fold back with :meth:`merge` in deterministic task order.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, wall: bool = False) -> Counter:
+        return self._get(name, COUNTER, lambda: Counter(name, wall=wall))
+
+    def gauge(self, name: str, wall: bool = False) -> Gauge:
+        return self._get(name, GAUGE, lambda: Gauge(name, wall=wall))
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = SECONDS_BUCKETS,
+        wall: bool = False,
+    ) -> Histogram:
+        return self._get(
+            name, HISTOGRAM, lambda: Histogram(name, bounds=bounds, wall=wall)
+        )
+
+    def _get(self, name: str, kind: str, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif _kind_of(instrument) != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{_kind_of(instrument)}, not {kind}"
+            )
+        return instrument
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str):
+        return self._instruments.get(name)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (commutative per metric,
+        except gauge ``value`` which follows merge order — fold in task
+        order to keep snapshots deterministic)."""
+        for name in sorted(other._instruments):
+            theirs = other._instruments[name]
+            mine = self._instruments.get(name)
+            if mine is None:
+                self._instruments[name] = _copy_instrument(theirs)
+            else:
+                mine.merge(theirs)
+
+    def to_dict(self, deterministic_only: bool = False) -> dict:
+        """JSON-friendly snapshot, names sorted.
+
+        ``deterministic_only=True`` drops wall-domain instruments —
+        the view that is byte-identical between ``workers=1`` and
+        ``workers=N`` runs of the same workload.
+        """
+        out: dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if deterministic_only and instrument.wall:
+                continue
+            out[name] = _instrument_to_dict(instrument)
+        return out
+
+
+def _kind_of(instrument) -> str:
+    if isinstance(instrument, Counter):
+        return COUNTER
+    if isinstance(instrument, Gauge):
+        return GAUGE
+    return HISTOGRAM
+
+
+def _copy_instrument(instrument):
+    if isinstance(instrument, Counter):
+        fresh = Counter(instrument.name, wall=instrument.wall)
+    elif isinstance(instrument, Gauge):
+        fresh = Gauge(instrument.name, wall=instrument.wall)
+    else:
+        fresh = Histogram(
+            instrument.name, bounds=instrument.bounds, wall=instrument.wall
+        )
+    fresh.merge(instrument)
+    return fresh
+
+
+def _instrument_to_dict(instrument) -> dict:
+    if isinstance(instrument, Counter):
+        return {
+            "type": COUNTER,
+            "wall": instrument.wall,
+            "value": instrument.value,
+        }
+    if isinstance(instrument, Gauge):
+        return {
+            "type": GAUGE,
+            "wall": instrument.wall,
+            "value": instrument.value,
+            "peak": instrument.peak,
+            "samples": instrument.samples,
+        }
+    return {
+        "type": HISTOGRAM,
+        "wall": instrument.wall,
+        "bounds": list(instrument.bounds),
+        "counts": list(instrument.counts),
+        "count": instrument.count,
+        "total": instrument.total,
+        "min": instrument.vmin,
+        "max": instrument.vmax,
+        "mean": instrument.mean,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# The disabled fast path: shared no-op singletons.                        #
+# ---------------------------------------------------------------------- #
+class _NullCounter:
+    __slots__ = ()
+    name = ""
+    wall = False
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    wall = False
+    value = 0
+    peak = 0
+    samples = 0
+
+    def set(self, value: int | float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+    wall = False
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """The no-op registry every instrumentation point dispatches
+    through when observability is disabled.
+
+    All lookups return shared stateless singletons; nothing is
+    allocated, recorded, or retained.  This is the "disabled costs
+    ~nothing" contract in one class.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, wall: bool = False) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, wall: bool = False) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, bounds=SECONDS_BUCKETS, wall=False):
+        return _NULL_HISTOGRAM
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def names(self) -> list[str]:
+        return []
+
+    def get(self, name: str):
+        return None
+
+    def merge(self, other) -> None:
+        pass
+
+    def to_dict(self, deterministic_only: bool = False) -> dict:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

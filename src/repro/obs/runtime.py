@@ -1,0 +1,114 @@
+"""The ambient observability context: one module-level dispatch point.
+
+Instrumentation points all read the same module-level slot::
+
+    from repro.obs import get_obs
+
+    obs = get_obs()            # once per operation, never per event
+    obs.metrics.counter("sim.events").inc(executed)
+
+With observability disabled (the default) the slot holds
+:data:`DISABLED`, whose registry and tracer are the no-op singletons —
+the "disabled costs ~nothing" fast path.  :func:`use_obs` installs a
+live :class:`Observability` for the duration of a ``with`` block; the
+:class:`~repro.api.Pipeline` facade and the worker-side campaign task
+are the two places that do so.
+
+Worker processes never inherit a live context: the pool's worker
+bootstrap calls :func:`reset_worker_obs`, and the campaign task then
+builds its own task-local :class:`Observability` whose
+:class:`ObsExport` rides home in the task result for the parent to
+fold in deterministic task order.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+
+@dataclass(frozen=True)
+class ObsExport:
+    """The picklable harvest of one worker task's observability."""
+
+    metrics: MetricsRegistry
+    spans: list[SpanRecord] = field(default_factory=list)
+
+
+@dataclass
+class Observability:
+    """A metrics registry plus a tracer, enabled or not."""
+
+    metrics: MetricsRegistry | NullRegistry
+    tracer: Tracer | NullTracer
+    enabled: bool = True
+
+    @classmethod
+    def create(cls) -> "Observability":
+        """A live context with a fresh registry and tracer."""
+        return cls(metrics=MetricsRegistry(), tracer=Tracer(), enabled=True)
+
+    def export(self) -> ObsExport:
+        """Snapshot this context for the trip back to the parent."""
+        return ObsExport(metrics=self.metrics, spans=list(self.tracer.spans))
+
+    def absorb(self, export: ObsExport, tid: int | None = None) -> None:
+        """Fold a worker export into this context.
+
+        Call in deterministic task order: counter and histogram merges
+        commute, but gauge ``value`` and span append order follow the
+        fold order.  ``tid`` gives the adopted spans their own track.
+        """
+        self.metrics.merge(export.metrics)
+        self.tracer.merge(export.spans, tid=tid)
+
+
+#: the no-op context: shared, immutable in effect, never records.
+DISABLED = Observability(metrics=NULL_REGISTRY, tracer=NULL_TRACER, enabled=False)
+
+_ACTIVE: Observability = DISABLED
+
+
+def get_obs() -> Observability:
+    """The ambient observability context (``DISABLED`` by default)."""
+    return _ACTIVE
+
+
+def set_obs(obs: Observability | None) -> Observability:
+    """Install ``obs`` (or ``DISABLED`` for None); returns the previous."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = obs if obs is not None else DISABLED
+    return previous
+
+
+@contextmanager
+def use_obs(obs: Observability | None):
+    """Install an observability context for the ``with`` body.
+
+    ``use_obs(None)`` is a no-op (the ambient context stays), so
+    callers can thread an optional context without branching.
+    """
+    if obs is None:
+        with nullcontext():
+            yield get_obs()
+        return
+    previous = set_obs(obs)
+    try:
+        yield obs
+    finally:
+        set_obs(previous)
+
+
+def reset_worker_obs() -> None:
+    """Drop any context inherited across a process fork.
+
+    A forked worker starts with the parent's ``_ACTIVE`` slot; its
+    recordings would die with the worker and cost time meanwhile.  The
+    pool's worker bootstrap calls this so worker code runs on the
+    no-op path until the task installs its own task-local context.
+    """
+    set_obs(DISABLED)

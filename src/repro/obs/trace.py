@@ -1,0 +1,233 @@
+"""Span tracing with explicit clocks, exported for Perfetto.
+
+A span is a named interval — an episode, a simulation run, one
+analysis stage.  Two clock domains coexist:
+
+* **wall** spans are timed with ``time.monotonic()`` relative to the
+  tracer's origin (never ``time.time()``: traces must not depend on
+  the host calendar, and monotonic time cannot step backwards);
+* **sim** spans carry simulation-time intervals verbatim (the
+  simulator's integer microseconds), so they are deterministic: the
+  same seed produces the same sim spans regardless of host or worker
+  count.
+
+Nesting is positional, the way Chrome's ``trace_event`` format defines
+it: spans on the same (pid, tid) track nest by containment of their
+``[ts, ts+dur]`` intervals.  Worker-local tracers start their origin
+at task start, so when the campaign driver merges them — one tid per
+episode — every episode's track begins near zero with its
+``episode → simulate → analyze`` hierarchy intact.
+
+Exports: :meth:`Tracer.write_jsonl` (one span object per line, this
+module's schema) and :meth:`Tracer.write_chrome` (the Chrome
+``trace_event`` JSON object form, loadable at https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Iterable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+CLOCK_WALL = "wall"
+CLOCK_SIM = "sim"
+
+#: Chrome trace_event pid assignments: one process row per clock
+#: domain, so wall-clock tracks and sim-time tracks never share a
+#: timeline in Perfetto.
+PID_WALL = 1
+PID_SIM = 2
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span; picklable across worker boundaries."""
+
+    name: str
+    cat: str
+    clock: str  # CLOCK_WALL | CLOCK_SIM
+    start_us: int
+    dur_us: int
+    tid: int = 0
+    args: dict | None = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "cat": self.cat,
+            "clock": self.clock,
+            "start_us": self.start_us,
+            "dur_us": self.dur_us,
+            "tid": self.tid,
+        }
+        if self.args:
+            out["args"] = self.args
+        return out
+
+
+class Tracer:
+    """Collects :class:`SpanRecord` items from one execution context."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[SpanRecord] = []
+        self._origin = time.monotonic()
+
+    def now_us(self) -> int:
+        """Wall microseconds since this tracer's origin."""
+        return int((time.monotonic() - self._origin) * 1_000_000)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "pipeline", args: dict | None = None):
+        """Record a wall-clock span around the ``with`` body.
+
+        The span is recorded even when the body raises — a crashed
+        stage still shows up in the trace, which is rather the point.
+        """
+        start = self.now_us()
+        try:
+            yield
+        finally:
+            self.spans.append(
+                SpanRecord(
+                    name=name,
+                    cat=cat,
+                    clock=CLOCK_WALL,
+                    start_us=start,
+                    dur_us=self.now_us() - start,
+                    args=args,
+                )
+            )
+
+    def add_span(
+        self,
+        name: str,
+        start_us: int,
+        dur_us: int,
+        clock: str = CLOCK_SIM,
+        cat: str = "sim",
+        tid: int = 0,
+        args: dict | None = None,
+    ) -> None:
+        """Record a span with explicit clock values (sim-time spans)."""
+        self.spans.append(
+            SpanRecord(
+                name=name,
+                cat=cat,
+                clock=clock,
+                start_us=start_us,
+                dur_us=dur_us,
+                tid=tid,
+                args=args,
+            )
+        )
+
+    def merge(self, spans: Iterable[SpanRecord], tid: int | None = None) -> None:
+        """Adopt spans collected elsewhere (a worker's episode tracer).
+
+        ``tid`` reassigns every adopted span to one track, which is how
+        the campaign driver gives each episode its own Perfetto row.
+        """
+        for span in spans:
+            if tid is not None and span.tid != tid:
+                span = SpanRecord(
+                    name=span.name,
+                    cat=span.cat,
+                    clock=span.clock,
+                    start_us=span.start_us,
+                    dur_us=span.dur_us,
+                    tid=tid,
+                    args=span.args,
+                )
+            self.spans.append(span)
+
+    # ------------------------------------------------------------------ #
+    # Exports                                                            #
+    # ------------------------------------------------------------------ #
+    def chrome_events(self) -> list[dict]:
+        """Chrome ``trace_event`` complete events (``ph: "X"``)."""
+        events = []
+        for span in self.spans:
+            pid = PID_SIM if span.clock == CLOCK_SIM else PID_WALL
+            event = {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.dur_us,
+                "pid": pid,
+                "tid": span.tid,
+            }
+            args = dict(span.args) if span.args else {}
+            args["clock"] = span.clock
+            event["args"] = args
+            events.append(event)
+        return events
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace JSON object form, with named process rows."""
+        metadata = [
+            {
+                "name": "process_name", "ph": "M", "pid": PID_WALL, "tid": 0,
+                "args": {"name": "pipeline (wall clock)"},
+            },
+            {
+                "name": "process_name", "ph": "M", "pid": PID_SIM, "tid": 0,
+                "args": {"name": "simulation (sim time)"},
+            },
+        ]
+        return {
+            "traceEvents": metadata + self.chrome_events(),
+            "displayTimeUnit": "ms",
+        }
+
+    def write_chrome(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_chrome()) + "\n")
+
+    def write_jsonl(self, path: str | Path) -> None:
+        with open(path, "w") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.to_dict()) + "\n")
+
+
+@contextmanager
+def _null_span():
+    yield
+
+
+class NullTracer:
+    """The disabled tracer: every call is a no-op."""
+
+    enabled = False
+    spans: list[SpanRecord] = []
+
+    def now_us(self) -> int:
+        return 0
+
+    def span(self, name: str, cat: str = "pipeline", args: dict | None = None):
+        return _null_span()
+
+    def add_span(self, *args, **kwargs) -> None:
+        pass
+
+    def merge(self, spans, tid=None) -> None:
+        pass
+
+    def chrome_events(self) -> list[dict]:
+        return []
+
+    def to_chrome(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_chrome()) + "\n")
+
+    def write_jsonl(self, path) -> None:
+        Path(path).write_text("")
+
+
+NULL_TRACER = NullTracer()

@@ -75,6 +75,7 @@ SUBCOMMANDS = (
     "campaign",
     "fuzz",
     "report",
+    "stats",
     "anonymize",
     "pcap2bgp",
     "tcptrace",
@@ -128,6 +129,53 @@ def _execution_options(parser: argparse.ArgumentParser) -> None:
         help="retry transient task failures (crashed worker, timeout) "
         "up to N times with the same seed (default: 0)",
     )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress and health chatter on stderr",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="enable observability and write a Chrome trace_event JSON "
+        "trace (open at https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="enable observability and write the metrics snapshot as "
+        "JSON (render with `tdat stats FILE`)",
+    )
+
+
+def _status(args, message: str) -> None:
+    """Progress/summary chatter: stderr, silenced by ``--quiet``.
+
+    Keeping every non-result line off stdout is what makes
+    ``tdat ... --json | json_tool`` composable.
+    """
+    if not getattr(args, "quiet", False):
+        print(message, file=sys.stderr)
+
+
+def _make_obs(args):
+    """A live observability context when an export was requested."""
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        from repro.obs import Observability
+
+        return Observability.create()
+    return None
+
+
+def _write_obs(args, obs) -> None:
+    """Export the requested observability artifacts."""
+    if obs is None:
+        return
+    if args.trace_out:
+        obs.tracer.write_chrome(args.trace_out)
+        _status(args, f"wrote Chrome trace -> {args.trace_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(obs.metrics.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        _status(args, f"wrote metrics -> {args.metrics_out}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -205,6 +253,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the report here instead of stdout")
     _execution_options(p)
     p.set_defaults(handler=_cmd_report)
+
+    p = add_parser(
+        "stats", help="render a metrics snapshot as a sorted table"
+    )
+    p.add_argument(
+        "metrics", help="metrics JSON written by --metrics-out",
+    )
+    p.add_argument(
+        "--deterministic-only", action="store_true",
+        help="show only metrics that are identical across worker counts "
+        "(drop wall-clock / execution-substrate entries)",
+    )
+    p.set_defaults(handler=_cmd_stats)
 
     p = add_parser(
         "fuzz", help="fault-injection harness over the ingest pipeline"
@@ -289,19 +350,22 @@ def main(argv: list[str] | None = None) -> int:
 # Subcommand handlers                                                     #
 # ---------------------------------------------------------------------- #
 def _cmd_analyze(args) -> int:
+    obs = _make_obs(args)
     pipe = Pipeline(
         workers=args.workers, strict=args.strict, streaming=args.streaming,
         task_timeout=args.task_timeout, max_retries=args.max_retries,
+        obs=obs,
     )
     report = pipe.analyze(args.pcap, sniffer_location=args.sniffer_location)
+    _write_obs(args, obs)
     # Benign issues (recoveries, resume markers) are reported but do
     # not flip the exit code; only actual failures do.
     noisy = not report.health.ok
     failed = bool(report.health.failures)
     if not len(report):
         if noisy:
-            print(report.health.summary(), file=sys.stderr)
-        print("no analyzable TCP connections found", file=sys.stderr)
+            _status(args, report.health.summary())
+        _status(args, "no analyzable TCP connections found")
         return EXIT_NOTHING
     if args.json:
         payload = {
@@ -313,8 +377,8 @@ def _cmd_analyze(args) -> int:
         for analysis in report:
             print(bgplot.render_analysis(analysis, width=args.width))
             print()
-        if noisy:
-            print(report.health.summary(), file=sys.stderr)
+    if noisy:
+        _status(args, report.health.summary())
     return EXIT_ISSUES if failed else EXIT_OK
 
 
@@ -322,9 +386,11 @@ def _cmd_campaign(args) -> int:
     overrides = {}
     if args.fail_episode:
         overrides["fail_episodes"] = tuple(args.fail_episode)
+    obs = _make_obs(args)
     pipe = Pipeline(
         workers=args.workers, strict=args.strict,
         task_timeout=args.task_timeout, max_retries=args.max_retries,
+        obs=obs,
     )
     try:
         result = pipe.campaign(
@@ -333,12 +399,19 @@ def _cmd_campaign(args) -> int:
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         )
     except CampaignInterrupted as exc:
+        _write_obs(args, obs)
         print(f"tdat: {exc}", file=sys.stderr)
         return EXIT_INTERRUPTED
+    _write_obs(args, obs)
     noisy = not result.health.ok
     failed = bool(result.health.failures)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
+        _status(
+            args,
+            f"campaign {result.name}: {len(result.records)} transfer(s), "
+            f"{result.total_packets} data packets",
+        )
     else:
         stats = duration_statistics(result)
         print(
@@ -361,7 +434,7 @@ def _cmd_campaign(args) -> int:
         for pathology in sorted(by_pathology):
             print(f"  {pathology}: {by_pathology[pathology]}")
     if noisy:
-        print(result.health.summary(), file=sys.stderr)
+        _status(args, result.health.summary())
     if not result.records:
         return EXIT_NOTHING
     return EXIT_ISSUES if failed else EXIT_OK
@@ -369,14 +442,17 @@ def _cmd_campaign(args) -> int:
 
 def _cmd_report(args) -> int:
     names = args.campaign or sorted(CAMPAIGNS)
+    obs = _make_obs(args)
     pipe = Pipeline(
         workers=args.workers, strict=args.strict,
         task_timeout=args.task_timeout, max_retries=args.max_retries,
+        obs=obs,
     )
     results = [
         pipe.campaign(name, seed=args.seed, transfers=args.transfers)
         for name in names
     ]
+    _write_obs(args, obs)
     if args.json:
         text = json.dumps([r.to_dict() for r in results], indent=2)
     else:
@@ -384,14 +460,73 @@ def _cmd_report(args) -> int:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text)
-        print(f"wrote report -> {args.out}")
+        _status(args, f"wrote report -> {args.out}")
     else:
         print(text)
     for result in results:
         if not result.health.ok:
-            print(result.health.summary(), file=sys.stderr)
+            _status(args, result.health.summary())
     failed = any(r.health.failures for r in results)
     return EXIT_ISSUES if failed else EXIT_OK
+
+
+def _cmd_stats(args) -> int:
+    """Render a ``--metrics-out`` snapshot as a sorted table."""
+    with open(args.metrics) as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict):
+        raise ValueError(
+            f"{args.metrics}: not a metrics snapshot (expected a JSON object)"
+        )
+    rows = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        if not isinstance(entry, dict) or "type" not in entry:
+            raise ValueError(
+                f"{args.metrics}: entry {name!r} is not a metric"
+            )
+        if args.deterministic_only and entry.get("wall"):
+            continue
+        rows.append((name, entry))
+    if not rows:
+        print("no metrics recorded", file=sys.stderr)
+        return EXIT_NOTHING
+    width = max(max(len(name) for name, _ in rows), len("metric"))
+    print(f"{'metric'.ljust(width)}  {'type':<10} value")
+    for name, entry in rows:
+        kind = entry["type"] + ("*" if entry.get("wall") else "")
+        print(f"{name.ljust(width)}  {kind:<10} {_metric_summary(entry)}")
+    if any(entry.get("wall") for _, entry in rows):
+        _status(
+            args,
+            "* wall-domain metric: varies with host load and worker count",
+        )
+    return EXIT_OK
+
+
+def _fmt_num(value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return "0" if value == 0 else f"{value:.6g}"
+
+
+def _metric_summary(entry: dict) -> str:
+    kind = entry["type"]
+    if kind == "counter":
+        return _fmt_num(entry.get("value", 0))
+    if kind == "gauge":
+        return (
+            f"{_fmt_num(entry.get('value', 0))} "
+            f"(peak {_fmt_num(entry.get('peak', 0))}, "
+            f"{entry.get('samples', 0)} sample(s))"
+        )
+    return (
+        f"n={entry.get('count', 0)} "
+        f"mean={_fmt_num(entry.get('mean', 0))} "
+        f"min={_fmt_num(entry.get('min', 0))} "
+        f"max={_fmt_num(entry.get('max', 0))} "
+        f"total={_fmt_num(entry.get('total', 0))}"
+    )
 
 
 def _cmd_fuzz(args) -> int:

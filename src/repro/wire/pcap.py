@@ -29,6 +29,7 @@ from typing import BinaryIO
 
 from repro.core.health import STAGE_PCAP, TraceHealth
 from repro.core.units import US_PER_SECOND, from_pcap_timestamp, pcap_timestamp
+from repro.obs import get_obs
 
 MAGIC_US = 0xA1B2C3D4
 MAGIC_US_SWAPPED = 0xD4C3B2A1
@@ -258,10 +259,23 @@ class PcapReader:
     def __iter__(self) -> Iterator[PcapRecord]:
         if self._unusable:
             return
-        if self.tolerant:
-            yield from self._iter_tolerant()
-        else:
-            yield from self._iter_strict()
+        inner = self._iter_tolerant() if self.tolerant else self._iter_strict()
+        obs = get_obs()
+        if not obs.enabled:
+            yield from inner
+            return
+        # Aggregate locally and flush once at end-of-iteration: the
+        # per-record cost with observability on is two local adds.
+        records = 0
+        data_bytes = 0
+        try:
+            for record in inner:
+                records += 1
+                data_bytes += len(record.data)
+                yield record
+        finally:
+            obs.metrics.counter("pcap.records").inc(records)
+            obs.metrics.counter("pcap.bytes").inc(data_bytes)
 
     def _iter_strict(self) -> Iterator[PcapRecord]:
         record_struct = struct.Struct(self._endian + "IIII")
@@ -469,6 +483,7 @@ class PcapReader:
             offset=start, bytes_lost=found_at,
             detail=f"resynchronized after {found_at} bytes",
         )
+        get_obs().metrics.counter("pcap.resyncs").inc()
         # Rewind the unconsumed tail of the scan window.
         tail = bytes(window[found_at:])
         self._stream = _ChainedStream(tail, self._stream)

@@ -56,6 +56,7 @@ from repro.exec.pool import (
 from repro.netsim.link import BernoulliLoss, WindowLoss
 from repro.netsim.random import RandomStreams
 from repro.netsim.simulator import SimBudget, Simulator
+from repro.obs import MetricsRegistry, Observability, ObsExport, get_obs, use_obs
 from repro.tcp.options import TcpConfig
 from repro.tools.pcap2bgp import pcap_to_bgp
 from repro.wire.pcap import write_pcap
@@ -172,6 +173,13 @@ class CampaignResult:
     total_bytes: int = 0
     routers: int = 0
     health: TraceHealth = field(default_factory=TraceHealth)
+    # The campaign-level metrics snapshot (None when observability was
+    # disabled).  Deliberately NOT part of to_dict(): the serialized
+    # result is the serial/parallel byte-identity witness, and wall
+    # metrics legitimately differ between runs.  Use
+    # ``metrics.to_dict(deterministic_only=True)`` for the view that IS
+    # identical across worker counts.
+    metrics: MetricsRegistry | None = field(default=None, repr=False)
 
     def durations_s(self) -> list[float]:
         return sorted(r.duration_s for r in self.records)
@@ -468,31 +476,40 @@ def run_episode(
             downstream_loss=downstream_loss,
         )
         handles.append(setup.add_router(params))
-    setup.start()
-    sim.run(until_us=seconds(900), budget=_spec_budget(spec))
+    tracer = get_obs().tracer
+    with tracer.span(
+        "episode.simulate", cat="campaign", args={"episode": spec.episode}
+    ):
+        setup.start()
+        sim.run(until_us=seconds(900), budget=_spec_budget(spec))
 
-    records = setup.sniffer.sorted_records()
-    if pcap_out is not None:
-        write_pcap(pcap_out, records)
-    report = analyze_pcap(
-        records, min_data_packets=2, strict=strict, health=health
-    )
-    transfer_extents = _transfer_extents(setup, records)
-    results: list[TransferRecord] = []
-    for handle in handles:
-        key = _connection_key(handle, setup)
-        if key not in report.analyses:
-            continue
-        analysis = report.get(key)
-        extent = transfer_extents.get(key)
-        window = (0, extent.end_us) if extent is not None else None
-        if window is not None:
-            # Re-run the pipeline clipped to the MCT window, as the
-            # paper's analysis period is the table-transfer extent.
-            from repro.analysis.tdat import analyze_connection
+    with tracer.span(
+        "episode.analyze", cat="campaign", args={"episode": spec.episode}
+    ):
+        records = setup.sniffer.sorted_records()
+        if pcap_out is not None:
+            write_pcap(pcap_out, records)
+        report = analyze_pcap(
+            records, min_data_packets=2, strict=strict, health=health
+        )
+        transfer_extents = _transfer_extents(setup, records)
+        results: list[TransferRecord] = []
+        for handle in handles:
+            key = _connection_key(handle, setup)
+            if key not in report.analyses:
+                continue
+            analysis = report.get(key)
+            extent = transfer_extents.get(key)
+            window = (0, extent.end_us) if extent is not None else None
+            if window is not None:
+                # Re-run the pipeline clipped to the MCT window, as the
+                # paper's analysis period is the table-transfer extent.
+                from repro.analysis.tdat import analyze_connection
 
-            analysis = analyze_connection(analysis.connection, window=window)
-        results.append(_make_record(spec, handle, analysis, extent))
+                analysis = analyze_connection(
+                    analysis.connection, window=window
+                )
+            results.append(_make_record(spec, handle, analysis, extent))
     return results
 
 
@@ -577,42 +594,62 @@ def _make_record(
 
 def _campaign_task(
     task: tuple[str, int]
-) -> tuple[list[TransferRecord], TraceHealth, bytes | None]:
+) -> tuple[list[TransferRecord], TraceHealth, bytes | None, ObsExport | None]:
     """Work-pool task: simulate + analyze one campaign work unit.
 
-    The (config, specs, strict, want_pcap) tuple rides in the pool
-    context — the specs embed full RIB tables, so shipping them
+    The (config, specs, strict, want_pcap, want_obs) tuple rides in the
+    pool context — the specs embed full RIB tables, so shipping them
     per-task instead would dominate the fan-out cost.  Returns the
     unit's records, its private health ledger for the parent to merge
-    in order, and (when the campaign journals checkpoints) the
-    episode's capture as pcap bytes.
+    in order, (when the campaign journals checkpoints) the episode's
+    capture as pcap bytes, and (when observability is on) the task's
+    :class:`~repro.obs.ObsExport` for the parent to fold in task order.
+
+    Observability is *task-local*: whether the task runs inline
+    (serial) or in a worker, it installs its own fresh context for the
+    duration, so the instruments it records are identical either way —
+    the property behind the deterministic workers=1 vs workers=N
+    metrics snapshot.
 
     Injected faults from ``config.fail_episodes`` are *transient*: they
     raise :class:`~repro.exec.pool.TransientTaskError` on the first
     attempt only, so a pool with retries recovers the episode while a
     pool without them contains the crash.
     """
-    config, specs, strict, want_pcap = task_context()
+    config, specs, strict, want_pcap, want_obs = task_context()
     kind, index = task
     episode_health = TraceHealth()
     pcap_out = io.BytesIO() if want_pcap else None
-    if kind == "episode":
-        spec = specs[index]
-        if spec.episode in config.fail_episodes and task_attempt() == 0:
-            raise TransientTaskError(
-                f"injected transient fault in episode {spec.episode}"
-            )
-        records = run_episode(
-            spec, strict=strict, health=episode_health, pcap_out=pcap_out
-        )
-    else:
-        record = run_zero_ack_bug_episode(
-            config, index=index, strict=strict, health=episode_health,
-            pcap_out=pcap_out,
-        )
-        records = [record] if record is not None else []
-    return records, episode_health, (
-        pcap_out.getvalue() if pcap_out is not None else None
+    task_obs = Observability.create() if want_obs else None
+    with use_obs(task_obs) as obs:
+        with obs.tracer.span(
+            "campaign.episode", cat="campaign",
+            args={"kind": kind, "index": index},
+        ):
+            if kind == "episode":
+                spec = specs[index]
+                if spec.episode in config.fail_episodes and task_attempt() == 0:
+                    raise TransientTaskError(
+                        f"injected transient fault in episode {spec.episode}"
+                    )
+                records = run_episode(
+                    spec, strict=strict, health=episode_health,
+                    pcap_out=pcap_out,
+                )
+            else:
+                record = run_zero_ack_bug_episode(
+                    config, index=index, strict=strict, health=episode_health,
+                    pcap_out=pcap_out,
+                )
+                records = [record] if record is not None else []
+        if task_obs is not None:
+            obs.metrics.counter("campaign.episodes").inc()
+            obs.metrics.counter("campaign.records").inc(len(records))
+    return (
+        records,
+        episode_health,
+        pcap_out.getvalue() if pcap_out is not None else None,
+        task_obs.export() if task_obs is not None else None,
     )
 
 
@@ -708,8 +745,9 @@ def run_campaign(
                     ),
                     benign=True,
                 )
+    obs = get_obs()
     todo = [task for task in tasks if task not in cached]
-    context = (config, specs, strict, journal is not None)
+    context = (config, specs, strict, journal is not None, obs.enabled)
 
     fresh: dict[tuple[str, int], object] = {}
 
@@ -717,7 +755,7 @@ def run_campaign(
         task = todo[outcome.index]
         fresh[task] = outcome
         if journal is not None and outcome.ok:
-            records, episode_health, pcap_bytes = outcome.value
+            records, episode_health, pcap_bytes, _obs = outcome.value
             journal.write(task, records, episode_health, pcap_bytes)
         if on_episode is not None:
             on_episode(task, outcome)
@@ -729,11 +767,17 @@ def run_campaign(
     interrupted = False
     with shutdown:
         try:
-            pool.map(
-                _campaign_task, todo, context=context,
-                should_stop=shutdown.requested if journal is not None else None,
-                on_outcome=_episode_done,
-            )
+            with obs.tracer.span(
+                "campaign.map", cat="campaign",
+                args={"name": config.name, "tasks": len(todo)},
+            ):
+                pool.map(
+                    _campaign_task, todo, context=context,
+                    should_stop=(
+                        shutdown.requested if journal is not None else None
+                    ),
+                    on_outcome=_episode_done,
+                )
         except PoolInterrupted:
             interrupted = True
     if interrupted:
@@ -751,8 +795,15 @@ def run_campaign(
             result.total_packets += record.data_packets
             result.total_bytes += record.wire_bytes
 
-    for task in tasks:
+    # Fold in *task* order (not completion order): counter/histogram
+    # merges commute, but span append order and gauge last-values
+    # follow the fold, so this is what keeps the merged snapshot
+    # independent of worker count and scheduling.
+    for task_number, task in enumerate(tasks, start=1):
         if task in cached:
+            # Episodes restored from a checkpoint journal carry no
+            # observability export: their metrics were recorded (and
+            # discarded) by the run that originally produced them.
             records, episode_health = cached[task]
             _fold(records, episode_health)
             continue
@@ -778,8 +829,13 @@ def run_campaign(
                 ),
                 benign=True,
             )
-        records, episode_health, _pcap = outcome.value
+        records, episode_health, _pcap, obs_export = outcome.value
+        if obs_export is not None and obs.enabled:
+            # One Perfetto track per episode: tid 0 stays the parent's.
+            obs.absorb(obs_export, tid=task_number)
         _fold(records, episode_health)
+    if obs.enabled:
+        result.metrics = obs.metrics
     return result
 
 
@@ -818,33 +874,42 @@ def run_zero_ack_bug_episode(
         tcp=TcpConfig(zero_ack_bug=True, zero_window_probe_delay_us=200_000),
     )
     handle = setup.add_router(params)
-    setup.start()
-    sim.run(
-        until_us=seconds(900),
-        budget=SimBudget(
-            max_events=config.sim_event_budget,
-            max_wall_s=config.sim_wall_budget_s,
+    tracer = get_obs().tracer
+    with tracer.span(
+        "episode.simulate", cat="campaign", args={"episode": 10_000 + index}
+    ):
+        setup.start()
+        sim.run(
+            until_us=seconds(900),
+            budget=SimBudget(
+                max_events=config.sim_event_budget,
+                max_wall_s=config.sim_wall_budget_s,
+            )
+            if config.sim_event_budget is not None
+            or config.sim_wall_budget_s is not None
+            else None,
         )
-        if config.sim_event_budget is not None
-        or config.sim_wall_budget_s is not None
-        else None,
-    )
-    records = setup.sniffer.sorted_records()
-    if pcap_out is not None:
-        write_pcap(pcap_out, records)
-    report = analyze_pcap(
-        records, min_data_packets=2, strict=strict, health=health
-    )
-    key = _connection_key(handle, setup)
-    if key not in report.analyses:
-        return None
-    extents = _transfer_extents(setup, records)
-    extent = extents.get(key)
-    analysis = report.get(key)
-    if extent is not None:
-        from repro.analysis.tdat import analyze_connection
+    with tracer.span(
+        "episode.analyze", cat="campaign", args={"episode": 10_000 + index}
+    ):
+        records = setup.sniffer.sorted_records()
+        if pcap_out is not None:
+            write_pcap(pcap_out, records)
+        report = analyze_pcap(
+            records, min_data_packets=2, strict=strict, health=health
+        )
+        key = _connection_key(handle, setup)
+        if key not in report.analyses:
+            return None
+        extents = _transfer_extents(setup, records)
+        extent = extents.get(key)
+        analysis = report.get(key)
+        if extent is not None:
+            from repro.analysis.tdat import analyze_connection
 
-        analysis = analyze_connection(analysis.connection, window=(0, extent.end_us))
+            analysis = analyze_connection(
+                analysis.connection, window=(0, extent.end_us)
+            )
     spec = EpisodeSpec(
         campaign=config.name,
         collector_kind=config.collector_kind,

@@ -35,8 +35,11 @@ import os
 import pickle
 import signal
 import threading
+import time
 from pathlib import Path
 from typing import Any
+
+from repro.obs import get_obs
 
 #: bump when the on-disk entry layout changes incompatibly.
 FORMAT = 1
@@ -88,12 +91,23 @@ def config_digest(config: Any) -> str:
 
 
 def _atomic_write(path: Path, data: bytes) -> None:
-    """Write ``data`` durably: no reader ever observes a torn file."""
+    """Write ``data`` durably: no reader ever observes a torn file.
+
+    The two fsyncs (file, then directory after the rename) dominate the
+    cost of a checkpoint; their wall time lands in the
+    ``checkpoint.fsync_s`` histogram.
+    """
+    obs = get_obs()
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as handle:
         handle.write(data)
         handle.flush()
+        fsync_started = time.monotonic() if obs.enabled else 0.0
         os.fsync(handle.fileno())
+        if obs.enabled:
+            obs.metrics.histogram("checkpoint.fsync_s", wall=True).observe(
+                time.monotonic() - fsync_started
+            )
     os.replace(tmp, path)
     # fsync the directory so the rename itself survives a crash.
     try:
@@ -101,7 +115,12 @@ def _atomic_write(path: Path, data: bytes) -> None:
     except OSError:
         return
     try:
+        fsync_started = time.monotonic() if obs.enabled else 0.0
         os.fsync(dir_fd)
+        if obs.enabled:
+            obs.metrics.histogram("checkpoint.fsync_s", wall=True).observe(
+                time.monotonic() - fsync_started
+            )
     except OSError:
         pass
     finally:
@@ -173,6 +192,8 @@ class CampaignJournal:
         pcap_bytes: bytes | None,
     ) -> None:
         """Persist one completed episode (pcap first, marker last)."""
+        obs = get_obs()
+        write_started = time.monotonic() if obs.enabled else 0.0
         name = self.entry_name(task)
         if pcap_bytes is not None:
             _atomic_write(self.episodes / f"{name}.pcap", pcap_bytes)
@@ -186,6 +207,11 @@ class CampaignJournal:
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         _atomic_write(self.episodes / f"{name}.ckpt", payload)
+        if obs.enabled:
+            obs.metrics.counter("checkpoint.writes", wall=True).inc()
+            obs.metrics.histogram("checkpoint.write_s", wall=True).observe(
+                time.monotonic() - write_started
+            )
 
     def load(self) -> dict[TaskKey, tuple[list, Any]]:
         """Every completed entry: ``{task: (records, health)}``.

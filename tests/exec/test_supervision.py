@@ -198,3 +198,73 @@ class TestDeterminismUnderSupervision:
             )
             values = [o.value for o in pool.map(_flaky, [1, 2, 3])]
             assert values == clean
+
+
+class _SlowUnpickle:
+    """A shared context whose unpickle (worker boot) takes longer than
+    the task timeout — the spawn-cost scenario queue-wait exemption
+    exists for."""
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        time.sleep(self.delay)
+
+
+class TestQueueWaitExemption:
+    def test_slow_worker_boot_is_not_charged_to_task_timeout(self):
+        """``task_timeout`` bounds *execution*, clocked from the
+        worker's "start" message.  A spawned worker's interpreter boot
+        and context unpickle land in queue wait; charging them to the
+        timeout used to kill perfectly healthy quick tasks."""
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn start method unavailable")
+        from repro.obs import Observability, use_obs
+
+        obs = Observability.create()
+        pool = WorkPool(workers=2, task_timeout=0.5, start_method="spawn")
+        with use_obs(obs):
+            outcomes = pool.map(_square, [3, 4], context=_SlowUnpickle(0.9))
+        assert [o.ok for o in outcomes] == [True, True]
+        assert [o.value for o in outcomes] == [9, 16]
+        assert pool.stats["timeouts"] == 0
+        # The boot + unpickle time is visible as queue wait, not lost.
+        queue_wait = obs.metrics.get("pool.queue_wait_s")
+        assert queue_wait is not None
+        assert queue_wait.count == 2
+        assert queue_wait.vmax >= 0.9
+        # ... and execution itself was clocked separately, well under
+        # the timeout that would have fired under dispatch-clocking.
+        execute = obs.metrics.get("pool.execute_s")
+        assert execute is not None
+        assert execute.vmax < 0.5
+        _assert_no_leaked_children()
+
+    def test_timeout_still_fires_on_genuinely_slow_execution(self):
+        """The exemption must not weaken the timeout itself: a task
+        that hangs *after* signalling start is still killed."""
+        pool = WorkPool(workers=2, task_timeout=0.5, max_retries=0)
+        outcomes = pool.map(_hang_on_two, [1, 2, 3])
+        assert not outcomes[1].ok
+        assert outcomes[1].error.kind == TIMEOUT_KIND
+        assert pool.stats["timeouts"] >= 1
+        _assert_no_leaked_children()
+
+    def test_queue_wait_observed_behind_busy_workers(self):
+        """With one worker and several tasks, the later tasks' queue
+        wait (time spent behind siblings) is recorded but never counted
+        against their own timeout."""
+        from repro.obs import Observability, use_obs
+
+        obs = Observability.create()
+        pool = WorkPool(workers=1, task_timeout=1.0)
+        with use_obs(obs):
+            outcomes = pool.map(_slow_square, [1, 2, 3])
+        assert [o.value for o in outcomes] == [1, 4, 9]
+        assert pool.stats["timeouts"] == 0
+        queue_wait = obs.metrics.get("pool.queue_wait_s")
+        assert queue_wait.count == 3
+        # the last task queued behind two 0.3s siblings
+        assert queue_wait.vmax >= 0.5

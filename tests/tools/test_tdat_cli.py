@@ -177,3 +177,105 @@ class TestSupervision:
         # The numeric contract the table and CI scripts rely on.
         assert (EXIT_OK, EXIT_NOTHING, EXIT_ERROR, EXIT_ISSUES,
                 EXIT_INTERRUPTED) == (0, 1, 2, 3, 4)
+
+
+class TestObservability:
+    def test_json_stdout_pipes_into_json_tool(self, clean_pcap):
+        """The satellite contract, literally: ``tdat analyze --json |
+        python -m json.tool`` must succeed — every human-facing line
+        belongs on stderr."""
+        import subprocess
+        import sys
+
+        analyze = subprocess.run(
+            [
+                sys.executable, "-m", "repro.tools.tdat_cli",
+                "analyze", str(clean_pcap), "--json",
+            ],
+            capture_output=True,
+        )
+        assert analyze.returncode == 0, analyze.stderr.decode()
+        pretty = subprocess.run(
+            [sys.executable, "-m", "json.tool"],
+            input=analyze.stdout, capture_output=True,
+        )
+        assert pretty.returncode == 0, pretty.stderr.decode()
+        json.loads(pretty.stdout)
+
+    def test_campaign_json_stdout_is_machine_clean(self, capsys):
+        rc = main([
+            "campaign", "ISP_A-Quagga",
+            "--transfers", "2", "--seed", "5", "--json",
+        ])
+        captured = capsys.readouterr()
+        assert rc == EXIT_OK
+        json.loads(captured.out)  # nothing but the payload on stdout
+        assert "campaign ISP_A-Quagga" in captured.err  # chatter -> stderr
+
+    def test_quiet_suppresses_stderr_chatter(self, capsys):
+        rc = main([
+            "campaign", "ISP_A-Quagga",
+            "--transfers", "2", "--seed", "5", "--json", "--quiet",
+        ])
+        captured = capsys.readouterr()
+        assert rc == EXIT_OK
+        json.loads(captured.out)
+        assert captured.err == ""
+
+    def test_trace_and_metrics_exports(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        rc = main([
+            "campaign", "ISP_A-Quagga",
+            "--transfers", "2", "--seed", "5", "--json",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ])
+        captured = capsys.readouterr()
+        assert rc == EXIT_OK
+        json.loads(captured.out)
+        assert "wrote Chrome trace" in captured.err
+        assert "wrote metrics" in captured.err
+
+        trace = json.loads(trace_path.read_text())
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert spans
+        for event in spans:
+            for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+                assert key in event
+        names = {e["name"] for e in spans}
+        assert {"campaign.episode", "episode.simulate",
+                "episode.analyze"} <= names
+
+        metrics = json.loads(metrics_path.read_text())
+        # 2 transfers + the campaign's zero-ack-bug probe episode
+        assert metrics["campaign.episodes"]["value"] == 3
+        assert "sim.events" in metrics
+
+    def test_stats_renders_metrics_table(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        rc = main([
+            "campaign", "ISP_A-Quagga",
+            "--transfers", "2", "--seed", "5", "--json", "--quiet",
+            "--metrics-out", str(metrics_path),
+        ])
+        capsys.readouterr()
+        assert rc == EXIT_OK
+
+        assert main(["stats", str(metrics_path)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "campaign.episodes" in out
+        assert "sim.events" in out
+        assert "pool.spawned" not in out or "*" in out  # wall marked
+
+        rc = main(["stats", str(metrics_path), "--deterministic-only"])
+        out = capsys.readouterr().out
+        assert rc == EXIT_OK
+        assert "campaign.episodes" in out
+        assert "checkpoint.write_s" not in out
+
+    def test_stats_on_junk_is_an_error(self, tmp_path, capsys):
+        junk = tmp_path / "metrics.json"
+        junk.write_text("[1, 2, 3]\n")
+        assert main(["stats", str(junk)]) == EXIT_ERROR
+        assert "error" in capsys.readouterr().err
