@@ -63,16 +63,13 @@ def __getattr__(name: str):
     # Deprecated re-export: the supported entry point is the
     # repro.api facade (engine code imports repro.analysis.tdat).
     if name == "analyze_pcap":
-        import warnings
-
         from repro.analysis.tdat import analyze_pcap
+        from repro.core.deprecation import warn_deprecated
 
-        warnings.warn(
+        warn_deprecated(
             "importing analyze_pcap from repro.analysis is deprecated; "
             "use repro.api.Pipeline().analyze(...) or import it from "
-            "repro.analysis.tdat",
-            DeprecationWarning,
-            stacklevel=2,
+            "repro.analysis.tdat"
         )
         return analyze_pcap
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

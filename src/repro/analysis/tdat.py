@@ -101,7 +101,9 @@ def analyze_connection(
     config = config or SeriesConfig()
     obs = get_obs()
     tracer = obs.tracer
-    wall_start = time.monotonic() if obs.enabled else 0.0
+    wall_start = (
+        time.monotonic() if obs.enabled else 0.0  # repro: noqa[RL001] wall-domain metric timing, never in results
+    )
     shift_stats = AckShiftStats()
     with tracer.span("analysis.ack_shift", cat="analysis"):
         if enable_ack_shift and config.sniffer_location != "sender":
@@ -124,7 +126,7 @@ def analyze_connection(
     if obs.enabled:
         obs.metrics.counter("analysis.connections").inc()
         obs.metrics.histogram("analysis.connection_s", wall=True).observe(
-            time.monotonic() - wall_start
+            time.monotonic() - wall_start  # repro: noqa[RL001] wall-domain metric
         )
     return ConnectionAnalysis(
         connection=connection,

@@ -1,0 +1,68 @@
+"""Deprecation warnings that point at the caller, not the machinery.
+
+The package facades keep deprecated re-exports alive through module
+``__getattr__`` hooks.  Getting the warning attributed to the *user's*
+import line from inside such a hook is fiddly: a ``from pkg import
+name`` statement reaches the hook through CPython's import machinery
+(``importlib._bootstrap._handle_fromlist``) — and twice, once via its
+``hasattr`` probe and once via the ``IMPORT_FROM`` opcode — so a fixed
+``stacklevel`` is wrong for at least one of the paths, and off-by-one
+guesses land the warning on ``<frozen importlib._bootstrap>`` or past
+the top of the stack (reported as ``sys:1``).
+
+:func:`warn_deprecated` sidesteps stacklevel arithmetic entirely: it
+walks the stack past the shim and any import-machinery frames to the
+first user frame, then raises the warning with
+:func:`warnings.warn_explicit` pinned to that frame's file and line.
+Both trigger paths of a ``from``-import therefore attribute to the
+same location, which also lets the default ``once``-per-location
+filters deduplicate them.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+#: filename markers of frames that are plumbing, never the culprit.
+_PLUMBING_MARKERS = ("importlib", "_bootstrap")
+
+
+def _is_plumbing(filename: str) -> bool:
+    # Frozen importlib frames render as e.g.
+    # "<frozen importlib._bootstrap>".
+    return filename.startswith("<frozen ") and any(
+        marker in filename for marker in _PLUMBING_MARKERS
+    )
+
+
+def warn_deprecated(message: str) -> None:
+    """Emit a :class:`DeprecationWarning` attributed to caller code.
+
+    Intended for module ``__getattr__`` re-export shims: the warning's
+    reported filename/line is the import (or attribute access) in user
+    code, regardless of how many import-machinery frames sit between.
+    """
+    try:
+        # Depth 0 is this function, 1 the shim's __getattr__, 2
+        # whoever triggered it; climb from there past plumbing.
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - shim called at stack top
+        frame = None
+    try:
+        while frame is not None and _is_plumbing(frame.f_code.co_filename):
+            frame = frame.f_back
+        if frame is None:  # pragma: no cover - nothing but plumbing
+            warnings.warn(message, DeprecationWarning, stacklevel=2)
+            return
+        globals_ = frame.f_globals
+        warnings.warn_explicit(
+            message,
+            DeprecationWarning,
+            filename=frame.f_code.co_filename,
+            lineno=frame.f_lineno,
+            module=globals_.get("__name__", "<unknown>"),
+            registry=globals_.setdefault("__warningregistry__", {}),
+        )
+    finally:
+        del frame  # break the frame reference cycle

@@ -35,6 +35,46 @@ STAGES = (
     STAGE_EXEC,
 )
 
+#: The central registry of every issue kind any stage may record.
+#: Report tooling groups and explains issues by these strings, so a
+#: typo'd or undocumented kind silently falls out of every summary —
+#: the RL004 lint rule holds this dict and the call sites in sync,
+#: in both directions.
+ISSUE_KINDS = {
+    # capture
+    "sniffer-drop-window": "sniffer lost frames inside a drop window",
+    # pcap
+    "truncated-global-header": "file shorter than the pcap global header",
+    "bad-magic": "pcap magic number unrecognized",
+    "unsupported-version": "pcap major version not understood",
+    "bad-record-header": "per-record header failed sanity checks",
+    "truncated-record-header": "EOF inside a per-record header",
+    "truncated-record": "EOF inside a record's captured payload",
+    "unreadable-tail": "trailing bytes unrecoverable past the last record",
+    "timestamp-regression": "record timestamps went backwards",
+    "implausible-timestamp": "record timestamp outside the plausible epoch",
+    # frame
+    "undecodable-frame": "Ethernet/IP/TCP decode failed for a frame",
+    "packet-after-close": "TCP segment seen after the connection closed",
+    # bgp
+    "bad-marker": "BGP header marker was not all-ones",
+    "bad-length": "BGP header length outside [19, 4096]",
+    "malformed-message": "BGP message body failed to parse",
+    "stream-desynchronized": "byte stream lost BGP message framing",
+    "stream-hole": "capture drop left a gap inside the BGP stream",
+    # analysis
+    "connection-analysis-failed": "per-connection T-DAT analysis crashed",
+    # exec
+    "transfer-crashed": "campaign work unit died inside a worker",
+    "sim-budget-exceeded": "simulation exceeded its event budget",
+    "task-timeout": "worker task exceeded the supervision timeout",
+    "task-retried": "task succeeded only after supervised retries",
+    "campaign-resumed": "episodes restored from a checkpoint journal",
+}
+
+#: Fast membership check for validation paths.
+KNOWN_ISSUE_KINDS = frozenset(ISSUE_KINDS)
+
 
 class IngestError(ValueError):
     """Raised in strict mode when an ingest stage hits damaged input."""

@@ -1,0 +1,96 @@
+"""``repro.lint``: static analysis for this repo's determinism contracts.
+
+The reproduction rests on invariants the test suite can only
+spot-check: simulated time must never leak wall-clock into a result
+(the paper's delay attribution is computed from trace timestamps, so
+one stray ``time.time()`` in a sim path silently corrupts every factor
+of the T-DAT breakdown), parallel campaigns must stay byte-identical
+to serial runs, and everything crossing the
+:class:`~repro.exec.pool.WorkPool` boundary must be picklable.  This
+package machine-enforces them: an AST-based visitor engine with a rule
+registry, per-rule severities, inline ``# repro: noqa[RULE]``
+suppressions (with an unused-suppression check), a machine-readable
+baseline so pre-existing findings don't block a gate, and an initial
+ruleset encoding the repo's contracts:
+
+* **RL001** — no wall-clock (``time.time``/``time.monotonic``/
+  ``datetime.now``) or unseeded ``random`` reachable from the
+  deterministic packages (``repro.netsim``, ``repro.tcp``,
+  ``repro.bgp``, ``repro.analysis``), call-graph aware;
+* **RL002** — no builtin-``set`` ordering-dependent iteration feeding
+  output in deterministic paths;
+* **RL003** — task functions submitted to a work pool must be
+  module-level (picklable) callables, and no classes defined inside
+  functions in pool-submitting modules;
+* **RL004** — every :class:`~repro.core.health.IngestIssue` kind
+  string appears in the central ``ISSUE_KINDS`` registry, and vice
+  versa;
+* **RL005** — exit codes used in ``repro.tools.tdat_cli`` match its
+  ``EXIT_CODE_TABLE``;
+* **RL006** — metric and span names recorded via ``repro.obs`` appear
+  in the ``docs/observability.md`` catalog.
+
+Run it as ``tdat lint`` or ``python -m repro.lint``; see
+``docs/static-analysis.md`` for the rule catalog and how to add a
+rule.
+"""
+
+from __future__ import annotations
+
+# PEP 562 lazy exports: ``tdat`` imports ``repro.lint.cli`` at startup
+# for the subcommand's options, which executes this package __init__ —
+# so the engine, the call-graph builder and the rule modules must not
+# load until something actually lints.  First attribute access imports
+# everything (rule modules included, which registers the ruleset) and
+# caches the names in module globals.
+_EXPORTS = {
+    "Baseline": "repro.lint.baseline",
+    "load_baseline": "repro.lint.baseline",
+    "render_baseline": "repro.lint.baseline",
+    "RULES": "repro.lint.engine",
+    "SEVERITY_ERROR": "repro.lint.engine",
+    "SEVERITY_WARNING": "repro.lint.engine",
+    "Finding": "repro.lint.engine",
+    "LintResult": "repro.lint.engine",
+    "Rule": "repro.lint.engine",
+    "register_rule": "repro.lint.engine",
+    "run_lint": "repro.lint.engine",
+    "Project": "repro.lint.project",
+    "SourceFile": "repro.lint.project",
+}
+
+
+def __getattr__(name: str):
+    if name not in _EXPORTS:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    # Importing the rule modules registers the ruleset.
+    importlib.import_module("repro.lint.rules_contracts")
+    importlib.import_module("repro.lint.rules_determinism")
+    for export, module_name in _EXPORTS.items():
+        globals()[export] = getattr(
+            importlib.import_module(module_name), export
+        )
+    return globals()[name]
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "Project",
+    "RULES",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "SourceFile",
+    "load_baseline",
+    "register_rule",
+    "render_baseline",
+    "run_lint",
+]

@@ -1,0 +1,97 @@
+"""The lint baseline: pre-existing findings that don't block the gate.
+
+A baseline is a committed JSON file enumerating findings that were
+present when a rule was introduced.  The gate then fails only on *new*
+findings, so a rule can land before every legacy violation is fixed —
+while the baseline shames the debt in version control, entry by entry.
+
+Matching is by ``(rule, path, message)`` — deliberately not by line,
+so unrelated edits shifting a file don't un-baseline a finding.  The
+file is rendered deterministically (sorted entries, sorted keys, fixed
+indentation, trailing newline) so regenerating an unchanged state is
+byte-identical — the property the self-lint test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.engine import Finding
+
+BASELINE_VERSION = 1
+
+#: the conventional baseline filename at a project root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or structurally invalid."""
+
+
+@dataclass
+class Baseline:
+    """The committed set of tolerated findings."""
+
+    entries: list[dict] = field(default_factory=list)
+
+    def keys(self) -> set[tuple[str, str, str]]:
+        return {
+            (entry["rule"], entry["path"], entry["message"])
+            for entry in self.entries
+        }
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not JSON: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise BaselineError(
+            f"baseline {path}: expected "
+            f'{{"version": {BASELINE_VERSION}, "findings": [...]}}'
+        )
+    entries = []
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict) or not {
+            "rule", "path", "message"
+        } <= set(entry):
+            raise BaselineError(
+                f"baseline {path}: malformed entry {entry!r}"
+            )
+        entries.append(entry)
+    return Baseline(entries=entries)
+
+
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """The canonical byte-stable serialization of a finding set."""
+    entries = sorted(
+        (
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+            }
+            for finding in findings
+        ),
+        key=lambda entry: (
+            entry["path"], entry["line"], entry["rule"], entry["message"]
+        ),
+    )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: Path | str, findings: Iterable[Finding]) -> None:
+    Path(path).write_text(render_baseline(findings), encoding="utf-8")

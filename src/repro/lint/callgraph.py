@@ -1,0 +1,236 @@
+"""A best-effort static call graph over the project.
+
+Nodes are functions (and methods, and one pseudo-node per module body
+for import-time code) named by qualified name, e.g.
+``repro.analysis.tdat.analyze_connection`` or
+``repro.netsim.simulator.Simulator.run``.  Edges are calls the
+resolver can pin down statically:
+
+* bare calls to names bound in the module (local ``def``/``class``,
+  ``from a.b import c``, nested functions of the enclosing scope);
+* attribute calls on imported modules (``time.time()``,
+  ``mod.helper()``);
+* ``self.method()`` calls within a class;
+* constructor calls resolve to the class's ``__init__``.
+
+Dynamic dispatch (``obj.method()`` on an arbitrary object, callbacks,
+higher-order functions) is deliberately *not* resolved: a lint gate
+must not guess, because a wrong guess is either a false alarm in CI or
+unearned confidence.  The resolved subset is exactly the shape a
+wall-clock or RNG leak takes in practice — a helper somewhere calling
+``time.time()``, imported into a deterministic package.
+
+Import bindings map names to fully qualified targets, so chained
+attribute access composes: ``from datetime import datetime`` binds
+``datetime -> datetime.datetime`` and a later ``datetime.now()``
+resolves to ``datetime.datetime.now``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lint.project import Project, SourceFile
+
+#: qualified-name suffix of the pseudo-node holding module-level code.
+MODULE_BODY = "<module>"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: who is called, from where."""
+
+    callee: str  # qualified name
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionNode:
+    """One function/method (or module body) in the graph."""
+
+    qname: str
+    module: str
+    source: SourceFile
+    calls: list[CallSite] = field(default_factory=list)
+
+
+class CallGraph:
+    """The project's functions and the calls between them."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, FunctionNode] = {}
+        self.classes: set[str] = set()  # qualified class names
+
+    def node(self, qname: str) -> FunctionNode | None:
+        return self.nodes.get(qname)
+
+    def callees(self, qname: str) -> Iterator[CallSite]:
+        node = self.nodes.get(qname)
+        if node is not None:
+            yield from node.calls
+
+    def reachable_from(self, entries: list[str]) -> dict[str, tuple[str, ...]]:
+        """Every node reachable from ``entries``, with a witness path.
+
+        Returns ``{qname: (entry, ..., qname)}`` — the shortest call
+        chain found, for diagnostics.  Constructor edges are followed
+        like any other call.
+        """
+        paths: dict[str, tuple[str, ...]] = {}
+        queue: deque[str] = deque()
+        for entry in entries:
+            if entry in self.nodes and entry not in paths:
+                paths[entry] = (entry,)
+                queue.append(entry)
+        while queue:
+            current = queue.popleft()
+            for call in self.callees(current):
+                target = call.callee
+                # A call to a class is a call to its constructor.
+                if target in self.classes:
+                    target = target + ".__init__"
+                if target in self.nodes and target not in paths:
+                    paths[target] = paths[current] + (target,)
+                    queue.append(target)
+        return paths
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    graph = CallGraph()
+    for source in project.files:
+        _GraphBuilder(graph, source).build()
+    return graph
+
+
+def module_bindings(source: SourceFile) -> dict[str, str]:
+    """Name -> fully qualified target for the module's top level."""
+    bindings: dict[str, str] = {}
+    for statement in source.tree.body:
+        _collect_import_bindings(statement, bindings)
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bindings[statement.name] = f"{source.module}.{statement.name}"
+        elif isinstance(statement, ast.ClassDef):
+            bindings[statement.name] = f"{source.module}.{statement.name}"
+    return bindings
+
+
+def _collect_import_bindings(
+    statement: ast.stmt, bindings: dict[str, str]
+) -> None:
+    if isinstance(statement, ast.Import):
+        for alias in statement.names:
+            name = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            bindings[name] = target
+    elif isinstance(statement, ast.ImportFrom) and statement.module:
+        if statement.level:  # relative imports: outside our scope
+            return
+        for alias in statement.names:
+            if alias.name == "*":
+                continue
+            bindings[alias.asname or alias.name] = (
+                f"{statement.module}.{alias.name}"
+            )
+
+
+class _GraphBuilder(ast.NodeVisitor):
+    """One file's contribution to the graph."""
+
+    def __init__(self, graph: CallGraph, source: SourceFile) -> None:
+        self.graph = graph
+        self.source = source
+        self.bindings = module_bindings(source)
+        # Scope entries: (owning function node, enclosing class qname
+        # for self-resolution, locally bound names, whether the scope
+        # is a class *body* — where a def is a method, not a closure).
+        self._scope: list[tuple[str, str | None, dict[str, str], bool]] = []
+
+    def build(self) -> None:
+        module_node = self._add_node(f"{self.source.module}.{MODULE_BODY}")
+        self._scope.append((module_node.qname, None, {}, False))
+        for statement in self.source.tree.body:
+            self.visit(statement)
+        self._scope.pop()
+
+    # -- scope management ------------------------------------------------
+    def _add_node(self, qname: str) -> FunctionNode:
+        node = FunctionNode(
+            qname=qname, module=self.source.module, source=self.source
+        )
+        self.graph.nodes[qname] = node
+        return node
+
+    def _current(self) -> FunctionNode:
+        return self.graph.nodes[self._scope[-1][0]]
+
+    def _qualify(self, name: str) -> str:
+        owner, _, _, _ = self._scope[-1]
+        if owner.endswith("." + MODULE_BODY):
+            return f"{self.source.module}.{name}"
+        return f"{owner}.{name}"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qname = self._qualify(node.name)
+        self.graph.classes.add(qname)
+        owner, _, locals_, _ = self._scope[-1]
+        locals_[node.name] = qname
+        # Class body: methods become <class>.<method>; the body's own
+        # statements (rare) attribute to the enclosing scope.
+        self._scope.append((owner, qname, dict(locals_), True))
+        for statement in node.body:
+            self.visit(statement)
+        self._scope.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        owner, class_qname, locals_, in_class_body = self._scope[-1]
+        if in_class_body and class_qname is not None:
+            qname = f"{class_qname}.{node.name}"
+        else:
+            qname = self._qualify(node.name)
+            locals_[node.name] = qname
+        self._add_node(qname)
+        # Closures keep the enclosing class for self-resolution (they
+        # capture ``self``), but their own defs are not methods.
+        self._scope.append((qname, class_qname, dict(locals_), False))
+        for statement in node.body:
+            self.visit(statement)
+        self._scope.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- call resolution -------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = self.resolve_call(node)
+        if callee is not None:
+            self._current().calls.append(
+                CallSite(callee=callee, line=node.lineno, col=node.col_offset)
+            )
+        self.generic_visit(node)
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """The qualified name this call targets, if statically known."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            _, _, locals_, _ = self._scope[-1]
+            if func.id in locals_:
+                return locals_[func.id]
+            return self.bindings.get(func.id)
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name):
+                if value.id == "self":
+                    _, class_qname, _, _ = self._scope[-1]
+                    if class_qname is not None:
+                        return f"{class_qname}.{func.attr}"
+                    return None
+                base = self.bindings.get(value.id)
+                if base is not None:
+                    return f"{base}.{func.attr}"
+        return None

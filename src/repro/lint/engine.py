@@ -1,0 +1,289 @@
+"""The rule engine: findings, registry, suppressions, the run loop.
+
+A :class:`Rule` inspects a :class:`~repro.lint.project.Project` and
+yields :class:`Finding` objects.  The engine then applies inline
+suppressions — a ``# repro: noqa[RL001]`` comment on a finding's line
+silences it — and reports any suppression that silenced nothing as a
+finding of its own (``RL000``), so stale exemptions cannot accumulate.
+
+Rules self-register via :func:`register_rule`; the registry is what
+``tdat lint --list-rules`` prints and what ``--select`` filters.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.lint.project import Project, SourceFile
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: the unused-suppression check; not a registered rule (it cannot be
+#: selected away or suppressed — a noqa that silences nothing is dead
+#: weight wherever it appears).
+UNUSED_SUPPRESSION_ID = "RL000"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Za-z0-9_,\s]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str  # posix path relative to the project root
+    line: int  # 1-based
+    col: int  # 0-based, as ast reports it
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity for baseline matching: stable across line drift."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class: one invariant, checked project-wide.
+
+    Subclasses set ``id`` (``RLnnn``), ``summary`` (one line, shown by
+    ``--list-rules``), optionally ``severity``, and implement
+    :meth:`check`.
+    """
+
+    id: str = ""
+    summary: str = ""
+    severity: str = SEVERITY_ERROR
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, source: SourceFile, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=source.relpath,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
+#: the registered ruleset, id -> rule instance.
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and add to the registry."""
+    rule = cls()
+    if not rule.id or not rule.summary:
+        raise ValueError(f"rule {cls.__name__} needs an id and a summary")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return cls
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: noqa[...]`` comment."""
+
+    path: str
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: set[str] = field(default_factory=set)
+
+
+def find_suppressions(source: SourceFile) -> list[Suppression]:
+    """Every noqa comment of a file, with the rules it names.
+
+    Tokenized, not regex-over-lines: the marker inside a docstring (or
+    any string literal) is prose about the syntax, not a suppression.
+    """
+    suppressions = []
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source.text).readline)
+        )
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return []  # the file parsed, so this is unreachable in practice
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        number = token.start[0]
+        match = _NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group("rules").split(",")
+            if rule.strip()
+        )
+        suppressions.append(
+            Suppression(
+                path=source.relpath,
+                line=number,
+                rules=rules,
+                reason=match.group("reason").strip(),
+            )
+        )
+    return suppressions
+
+
+@dataclass
+class LintResult:
+    """What one run produced, before and after baseline filtering."""
+
+    findings: list[Finding]  # new findings: not suppressed, not baselined
+    suppressed: list[Finding]  # silenced by an inline noqa
+    baselined: list[Finding]  # matched a committed baseline entry
+    stale_baseline: list[tuple[str, str, str]]  # entries nothing matched
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+            "stale_baseline": [
+                {"rule": rule, "path": path, "message": message}
+                for rule, path, message in self.stale_baseline
+            ],
+        }
+
+
+def run_lint(
+    project: Project,
+    select: Iterable[str] | None = None,
+    baseline_keys: Iterable[tuple[str, str, str]] = (),
+) -> LintResult:
+    """Run the (selected) ruleset and fold in suppressions + baseline."""
+    rules = _select_rules(select)
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(project))
+
+    suppressions: dict[tuple[str, int], list[Suppression]] = {}
+    all_suppressions: list[Suppression] = []
+    for source in project.files:
+        for suppression in find_suppressions(source):
+            key = (suppression.path, suppression.line)
+            suppressions.setdefault(key, []).append(suppression)
+            all_suppressions.append(suppression)
+
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in raw:
+        hit = None
+        for suppression in suppressions.get((finding.path, finding.line), ()):
+            if finding.rule in suppression.rules:
+                suppression.used.add(finding.rule)
+                hit = suppression
+                break
+        (suppressed if hit is not None else kept).append(finding)
+
+    # A suppression that silenced nothing for one of its rules is a
+    # finding itself: stale exemptions rot into blanket ones.
+    for suppression in all_suppressions:
+        for rule_id in suppression.rules:
+            if rule_id in suppression.used:
+                continue
+            kept.append(
+                Finding(
+                    rule=UNUSED_SUPPRESSION_ID,
+                    severity=SEVERITY_ERROR,
+                    path=suppression.path,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        f"unused suppression: no {rule_id} finding on "
+                        f"this line"
+                    ),
+                )
+            )
+
+    baseline = set(baseline_keys)
+    matched: set[tuple[str, str, str]] = set()
+    fresh: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in kept:
+        key = finding.baseline_key()
+        if key in baseline:
+            matched.add(key)
+            baselined.append(finding)
+        else:
+            fresh.append(finding)
+
+    return LintResult(
+        findings=sorted(fresh, key=Finding.sort_key),
+        suppressed=sorted(suppressed, key=Finding.sort_key),
+        baselined=sorted(baselined, key=Finding.sort_key),
+        stale_baseline=sorted(baseline - matched),
+    )
+
+
+def _select_rules(select: Iterable[str] | None) -> list[Rule]:
+    if select is None:
+        return [RULES[rule_id] for rule_id in sorted(RULES)]
+    chosen = []
+    for rule_id in select:
+        if rule_id not in RULES:
+            raise KeyError(
+                f"unknown rule {rule_id!r} (known: {', '.join(sorted(RULES))})"
+            )
+        chosen.append(RULES[rule_id])
+    return chosen
+
+
+def all_findings(result: LintResult) -> Iterator[Finding]:
+    """New + baselined findings, for ``--write-baseline``."""
+    yield from sorted(
+        list(result.findings) + list(result.baselined), key=Finding.sort_key
+    )
+
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Suppression",
+    "UNUSED_SUPPRESSION_ID",
+    "all_findings",
+    "find_suppressions",
+    "register_rule",
+    "run_lint",
+]

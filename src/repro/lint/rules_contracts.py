@@ -1,0 +1,507 @@
+"""RL003-RL006: the cross-layer contract rules.
+
+Each of these rules pins an invariant that lives in *two* places at
+once — a worker payload and the pickler, an issue kind and its
+registry, an exit code and its ``--help`` table, a metric name and its
+docs catalog.  Nothing in the interpreter couples the two halves, so
+they drift silently; the rules make the coupling mechanical.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.lint.engine import Finding, Rule, register_rule
+from repro.lint.project import Project, SourceFile
+
+#: module holding the canonical IngestIssue kind registry (RL004).
+HEALTH_MODULE = "repro.core.health"
+ISSUE_REGISTRY_NAME = "ISSUE_KINDS"
+
+#: module holding the CLI exit-code contract (RL005).
+CLI_MODULE = "repro.tools.tdat_cli"
+EXIT_TABLE_NAME = "EXIT_CODE_TABLE"
+
+#: catalog every obs metric/span name must appear in (RL006).
+OBS_CATALOG = "docs/observability.md"
+
+
+# ---------------------------------------------------------------------- #
+# RL003                                                                   #
+# ---------------------------------------------------------------------- #
+@register_rule
+class PoolPayloadPicklable(Rule):
+    """RL003: payloads crossing the WorkPool process boundary must be
+    importable at top level, or the parallel backend dies in pickle."""
+
+    id = "RL003"
+    summary = (
+        "WorkPool tasks and their result types must be top-level "
+        "(picklable) definitions"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            yield from self._check_file(source, project)
+
+    def _check_file(
+        self, source: SourceFile, project: Project
+    ) -> Iterator[Finding]:
+        top_level = {
+            statement.name
+            for statement in source.tree.body
+            if isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            )
+        }
+        task_names: set[str] = set()
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("map", "submit")
+                and isinstance(func.value, ast.Name)
+                and "pool" in func.value.id.lower()
+            ):
+                continue
+            if not node.args:
+                continue
+            task = node.args[0]
+            if isinstance(task, ast.Lambda):
+                yield self.finding(
+                    source, task.lineno, task.col_offset,
+                    "lambda submitted to WorkPool: lambdas cannot be "
+                    "pickled to worker processes; use a module-level def",
+                )
+            elif isinstance(task, ast.Name):
+                task_names.add(task.id)
+                if task.id not in top_level and self._defined_nested(
+                    source, task.id
+                ):
+                    yield self.finding(
+                        source, task.lineno, task.col_offset,
+                        f"WorkPool task '{task.id}' is defined inside "
+                        f"another scope: nested functions cannot be "
+                        f"pickled to worker processes; move it to module "
+                        f"top level",
+                    )
+        # Result types: a class defined inside a task function body is
+        # unpicklable the moment an instance is returned from a worker.
+        for statement in source.tree.body:
+            if (
+                isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and statement.name in task_names
+            ):
+                for inner in ast.walk(statement):
+                    if isinstance(inner, ast.ClassDef):
+                        yield self.finding(
+                            source, inner.lineno, inner.col_offset,
+                            f"class '{inner.name}' defined inside WorkPool "
+                            f"task '{statement.name}': instances crossing "
+                            f"the process boundary cannot be pickled; "
+                            f"define it at module top level",
+                        )
+
+    @staticmethod
+    def _defined_nested(source: SourceFile, name: str) -> bool:
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name
+            ):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------- #
+# RL004                                                                   #
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _KindUse:
+    kind: str
+    source: SourceFile
+    line: int
+    col: int
+
+
+@register_rule
+class IssueKindRegistered(Rule):
+    """RL004: every IngestIssue kind string agrees with the central
+    ``ISSUE_KINDS`` registry, in both directions."""
+
+    id = "RL004"
+    summary = (
+        "IngestIssue kind strings must match the ISSUE_KINDS registry "
+        "in repro.core.health (both directions)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        health = project.modules.get(HEALTH_MODULE)
+        if health is None:
+            return
+        registry = _parse_registry(health)
+        if registry is None:
+            yield self.finding(
+                health, 1, 0,
+                f"module {HEALTH_MODULE} defines no "
+                f"{ISSUE_REGISTRY_NAME} dict literal; the kind registry "
+                f"is the anchor this rule checks against",
+            )
+            return
+        uses = list(_collect_kind_uses(project))
+        used_kinds = {use.kind for use in uses}
+        for use in sorted(
+            uses, key=lambda u: (u.source.relpath, u.line, u.col)
+        ):
+            if use.kind not in registry:
+                yield self.finding(
+                    use.source, use.line, use.col,
+                    f"issue kind '{use.kind}' is not in "
+                    f"{ISSUE_REGISTRY_NAME} ({health.relpath}); register "
+                    f"it with a one-line description",
+                )
+        for kind, line in sorted(registry.items()):
+            if kind not in used_kinds:
+                yield self.finding(
+                    health, line, 0,
+                    f"issue kind '{kind}' is registered in "
+                    f"{ISSUE_REGISTRY_NAME} but never recorded anywhere; "
+                    f"remove the stale entry",
+                )
+
+
+def _parse_registry(health: SourceFile) -> dict[str, int] | None:
+    """``ISSUE_KINDS`` keys with the line each is declared on."""
+    for statement in health.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value:
+            targets = [statement.target]
+            value = statement.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == ISSUE_REGISTRY_NAME
+            for t in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        registry: dict[str, int] = {}
+        for key in value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                registry[key.value] = key.lineno
+        return registry
+    return None
+
+
+def _collect_kind_uses(project: Project) -> Iterator[_KindUse]:
+    """Every literal kind string flowing into ``TraceHealth.record``.
+
+    Kinds rarely reach ``record`` directly: they pass through small
+    conduits (``_give_up``, ``_skip``, ``on_issue`` callbacks) or sit
+    in ``*_ISSUE_KINDS`` mapping literals.  We run a fixed point over
+    function definitions: any function forwarding one of its parameters
+    into a known kind slot becomes a conduit itself, matched at call
+    sites by terminal name.  Name-based matching is deliberate — the
+    callbacks are duck-typed, so no resolver can do better statically.
+    """
+    # conduit name -> (def-positional index of the kind param, its name,
+    # whether the def's first parameter is self/cls)
+    # ``TraceHealth.record(self, stage, kind, ...)``: def index 2.
+    conduits: dict[str, tuple[int, str, bool]] = {
+        "record": (2, "kind", True),
+    }
+    defs: list[tuple[SourceFile, ast.FunctionDef | ast.AsyncFunctionDef]] = [
+        (source, node)
+        for source in project.files
+        if source.module != "repro.lint" and not source.module.startswith(
+            "repro.lint."
+        )
+        for node in ast.walk(source.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for source, func in defs:
+            if func.name in conduits:
+                continue
+            params = [arg.arg for arg in func.args.args]
+            for call in ast.walk(func):
+                if not isinstance(call, ast.Call):
+                    continue
+                slot = _kind_argument(call, conduits)
+                if (
+                    isinstance(slot, ast.Name)
+                    and slot.id in params
+                ):
+                    index = params.index(slot.id)
+                    has_self = bool(params) and params[0] in ("self", "cls")
+                    conduits[func.name] = (index, slot.id, has_self)
+                    changed = True
+                    break
+
+    for source in project.files:
+        if source.module == "repro.lint" or source.module.startswith(
+            "repro.lint."
+        ):
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                slot = _kind_argument(node, conduits)
+                if isinstance(slot, ast.Constant) and isinstance(
+                    slot.value, str
+                ):
+                    yield _KindUse(
+                        slot.value, source, slot.lineno, slot.col_offset
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from _kinds_from_mapping(source, node)
+            if isinstance(node, ast.Call):
+                yield from _kinds_from_get_default(source, node)
+
+
+def _kind_argument(
+    call: ast.Call, conduits: dict[str, tuple[int, str, bool]]
+) -> ast.expr | None:
+    """The expression in the kind slot of a conduit call, if any."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+        bound = True  # receiver.method(...) — self is already bound
+    elif isinstance(func, ast.Name):
+        name = func.id
+        bound = False
+    else:
+        return None
+    spec = conduits.get(name)
+    if spec is None:
+        return None
+    index, kwarg, has_self = spec
+    for keyword in call.keywords:
+        if keyword.arg == kwarg:
+            return keyword.value
+    if bound and has_self:
+        index -= 1
+    if 0 <= index < len(call.args):
+        return call.args[index]
+    return None
+
+
+def _kinds_from_mapping(
+    source: SourceFile, node: ast.Assign | ast.AnnAssign
+) -> Iterator[_KindUse]:
+    """String values of ``*_ISSUE_KINDS = {...}`` mapping literals."""
+    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+    if not any(
+        isinstance(t, ast.Name) and t.id.endswith("_ISSUE_KINDS")
+        for t in targets
+    ):
+        return
+    value = node.value
+    if not isinstance(value, ast.Dict):
+        return
+    for entry in value.values:
+        if isinstance(entry, ast.Constant) and isinstance(entry.value, str):
+            yield _KindUse(
+                entry.value, source, entry.lineno, entry.col_offset
+            )
+
+
+def _kinds_from_get_default(
+    source: SourceFile, call: ast.Call
+) -> Iterator[_KindUse]:
+    """The literal default of ``*_ISSUE_KINDS.get(key, "fallback")``."""
+    func = call.func
+    if not (
+        isinstance(func, ast.Attribute)
+        and func.attr == "get"
+        and isinstance(func.value, ast.Name)
+        and func.value.id.endswith("_ISSUE_KINDS")
+        and len(call.args) == 2
+    ):
+        return
+    default = call.args[1]
+    if isinstance(default, ast.Constant) and isinstance(default.value, str):
+        yield _KindUse(
+            default.value, source, default.lineno, default.col_offset
+        )
+
+
+# ---------------------------------------------------------------------- #
+# RL005                                                                   #
+# ---------------------------------------------------------------------- #
+_TABLE_ROW_RE = re.compile(r"^\s*(\d+)\s+\S")
+
+
+@register_rule
+class ExitCodeTableConsistent(Rule):
+    """RL005: the ``EXIT_*`` constants and the ``EXIT_CODE_TABLE``
+    rendered into ``--help`` must describe the same contract."""
+
+    id = "RL005"
+    summary = (
+        "EXIT_* constants in repro.tools.tdat_cli must match "
+        "EXIT_CODE_TABLE (both directions)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        cli = project.modules.get(CLI_MODULE)
+        if cli is None:
+            return
+        constants: dict[str, tuple[int, int]] = {}  # name -> (value, line)
+        table_codes: set[int] = set()
+        table_line = None
+        for statement in cli.tree.body:
+            if not isinstance(statement, ast.Assign):
+                continue
+            for target in statement.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == EXIT_TABLE_NAME:
+                    if isinstance(statement.value, ast.Constant) and (
+                        isinstance(statement.value.value, str)
+                    ):
+                        table_line = statement.lineno
+                        for row in statement.value.value.splitlines():
+                            match = _TABLE_ROW_RE.match(row)
+                            if match:
+                                table_codes.add(int(match.group(1)))
+                elif target.id.startswith("EXIT_"):
+                    if isinstance(statement.value, ast.Constant) and (
+                        isinstance(statement.value.value, int)
+                    ):
+                        constants[target.id] = (
+                            statement.value.value, statement.lineno
+                        )
+        if table_line is None:
+            yield self.finding(
+                cli, 1, 0,
+                f"{CLI_MODULE} defines no {EXIT_TABLE_NAME} string "
+                f"literal; the --help exit-code table is the contract "
+                f"this rule checks against",
+            )
+            return
+        for name, (value, line) in sorted(constants.items()):
+            if value not in table_codes:
+                yield self.finding(
+                    cli, line, 0,
+                    f"exit code {name} = {value} is not documented in "
+                    f"{EXIT_TABLE_NAME}; every code a subcommand can "
+                    f"return must appear in --help",
+                )
+        known_values = {value for value, _ in constants.values()}
+        for code in sorted(table_codes):
+            if code not in known_values:
+                yield self.finding(
+                    cli, table_line, 0,
+                    f"{EXIT_TABLE_NAME} documents exit code {code} but "
+                    f"no EXIT_* constant has that value; the table has "
+                    f"drifted from the code",
+                )
+
+
+# ---------------------------------------------------------------------- #
+# RL006                                                                   #
+# ---------------------------------------------------------------------- #
+_OBS_METHODS = ("counter", "gauge", "histogram", "span")
+_BACKTICK_RE = re.compile(r"`([^`\n]+)`")
+
+#: packages whose obs recordings are implementation plumbing, not the
+#: public telemetry surface the catalog documents.
+_OBS_EXEMPT = ("repro.obs", "repro.lint")
+
+
+@register_rule
+class ObsNameCataloged(Rule):
+    """RL006: every metric/span name the code records must be in the
+    ``docs/observability.md`` catalog, or dashboards go stale."""
+
+    id = "RL006"
+    summary = (
+        "metric/span names recorded via repro.obs must appear in "
+        "docs/observability.md"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        uses = [
+            use
+            for source in project.files
+            if not source.in_package(_OBS_EXEMPT)
+            for use in self._obs_names(source)
+        ]
+        if not uses:
+            return
+        catalog_path = project.artifact(OBS_CATALOG)
+        if not catalog_path.is_file():
+            source, _, line, col, _ = uses[0]
+            yield self.finding(
+                source, line, col,
+                f"{OBS_CATALOG} is missing but obs names are recorded; "
+                f"create the catalog so telemetry stays documented",
+            )
+            return
+        tokens = set(
+            _BACKTICK_RE.findall(catalog_path.read_text(encoding="utf-8"))
+        )
+        for source, name, line, col, is_prefix in uses:
+            if is_prefix:
+                if not any(token.startswith(name) for token in tokens):
+                    yield self.finding(
+                        source, line, col,
+                        f"dynamic obs name with prefix '{name}' matches "
+                        f"no entry in {OBS_CATALOG}; document each "
+                        f"concrete name (backticked) in the catalog",
+                    )
+            elif name not in tokens:
+                yield self.finding(
+                    source, line, col,
+                    f"obs name '{name}' is not cataloged in "
+                    f"{OBS_CATALOG}; add it (backticked) with its unit "
+                    f"and meaning",
+                )
+
+    @staticmethod
+    def _obs_names(
+        source: SourceFile,
+    ) -> Iterator[tuple[SourceFile, str, int, int, bool]]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _OBS_METHODS
+                and node.args
+            ):
+                continue
+            name_arg = node.args[0]
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                yield (
+                    source, name_arg.value,
+                    name_arg.lineno, name_arg.col_offset, False,
+                )
+            elif isinstance(name_arg, ast.JoinedStr):
+                prefix = ""
+                for part in name_arg.values:
+                    if isinstance(part, ast.Constant) and isinstance(
+                        part.value, str
+                    ):
+                        prefix += part.value
+                    else:
+                        break
+                yield (
+                    source, prefix,
+                    name_arg.lineno, name_arg.col_offset, True,
+                )

@@ -151,7 +151,9 @@ class Simulator:
         obs = get_obs()
         start_time_us = self._now
         queue_peak = len(self._heap)
-        started = time.monotonic() if budget is not None else 0.0
+        started = (
+            time.monotonic() if budget is not None else 0.0  # repro: noqa[RL001] SimBudget watchdog clock, never feeds results
+        )
         try:
             while self._heap:
                 if until_us is not None and self._heap[0].time > until_us:
@@ -166,13 +168,14 @@ class Simulator:
                     ):
                         raise SimBudgetExceeded(
                             BUDGET_EVENTS, executed,
-                            time.monotonic() - started, self._now,
+                            time.monotonic() - started,  # repro: noqa[RL001] watchdog diagnostics
+                            self._now,
                         )
                     if (
                         budget.max_wall_s is not None
                         and executed % budget.wall_check_every == 0
                     ):
-                        wall = time.monotonic() - started
+                        wall = time.monotonic() - started  # repro: noqa[RL001] watchdog wall budget
                         if wall > budget.max_wall_s:
                             raise SimBudgetExceeded(
                                 BUDGET_WALL_CLOCK, executed, wall, self._now

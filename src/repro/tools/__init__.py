@@ -31,16 +31,13 @@ def __getattr__(name: str):
     # Deprecated re-export: the supported entry point is the
     # repro.api facade (engine code imports repro.tools.pcap2bgp).
     if name == "pcap_to_bgp":
-        import warnings
-
+        from repro.core.deprecation import warn_deprecated
         from repro.tools.pcap2bgp import pcap_to_bgp
 
-        warnings.warn(
+        warn_deprecated(
             "importing pcap_to_bgp from repro.tools is deprecated; "
             "use repro.api.Pipeline().extract_bgp(...) or import it from "
-            "repro.tools.pcap2bgp",
-            DeprecationWarning,
-            stacklevel=2,
+            "repro.tools.pcap2bgp"
         )
         return pcap_to_bgp
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -45,6 +45,11 @@ from repro.analysis.series import (
 )
 from repro.api import Pipeline
 from repro.core.health import IngestError
+from repro.lint.cli import (
+    LINT_EXIT_CODES,
+    configure_parser as _configure_lint_parser,
+    run_with_args as _run_lint,
+)
 from repro.tools import bgplot, pcap2bgp, tcptrace_lite
 from repro.tools.report import duration_statistics, render_markdown
 from repro.wire.pcap import PcapError
@@ -77,6 +82,7 @@ SUBCOMMANDS = (
     "report",
     "stats",
     "anonymize",
+    "lint",
     "pcap2bgp",
     "tcptrace",
     "bgplot",
@@ -316,6 +322,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser("tcptrace", help="per-connection summaries")
     p.add_argument("pcap", help="input pcap trace")
     p.set_defaults(handler=_cmd_tcptrace)
+
+    # Lint carries its own exit-code contract (0 clean / 1 findings /
+    # 2 failed to run), so it bypasses the shared EXIT_CODE_TABLE.
+    p = sub.add_parser(
+        "lint",
+        help="determinism & isolation static analysis over the source",
+        epilog=LINT_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    _configure_lint_parser(p)
+    p.set_defaults(handler=_cmd_lint)
 
     p = add_parser("bgplot", help="event-series panels / CSV export")
     p.add_argument("pcap", help="input pcap trace")
@@ -580,6 +597,12 @@ def _cmd_bgplot(args) -> int:
                 print(bgplot.render_time_sequence(analysis, width=args.width))
         print()
     return EXIT_OK
+
+
+def _cmd_lint(args) -> int:
+    # Returns lint's own codes (0/1/2) documented in LINT_EXIT_CODES,
+    # not the analysis table above.
+    return _run_lint(args)
 
 
 def _analysis_to_dict(analysis) -> dict:

@@ -29,16 +29,13 @@ def __getattr__(name: str):
     # Deprecated re-export: the supported entry point is the
     # repro.api facade (engine code imports repro.workloads.campaign).
     if name == "run_campaign":
-        import warnings
-
+        from repro.core.deprecation import warn_deprecated
         from repro.workloads.campaign import run_campaign
 
-        warnings.warn(
+        warn_deprecated(
             "importing run_campaign from repro.workloads is deprecated; "
             "use repro.api.Pipeline().campaign(...) or import it from "
-            "repro.workloads.campaign",
-            DeprecationWarning,
-            stacklevel=2,
+            "repro.workloads.campaign"
         )
         return run_campaign
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -114,6 +114,31 @@ class TestDeprecationShims:
         with pytest.raises(AttributeError):
             repro.analysis.does_not_exist
 
+    @pytest.mark.parametrize("name,package", sorted(SHIMMED.items()))
+    def test_shim_warning_points_at_the_caller(self, name, package):
+        """The warning blames this file, not the import machinery.
+
+        A ``from pkg import name`` reaches the shim through
+        ``importlib._bootstrap``; a naive ``stacklevel`` attributes the
+        warning to ``<frozen importlib._bootstrap>`` or ``sys:1``.
+        ``warn_deprecated`` must pin it to the caller's file and line.
+        """
+        source = f"from {package} import {name}\n"
+        scope: dict = {}
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            exec(compile(source, __file__, "exec"), scope)  # noqa: S102
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert deprecations, f"{package}.{name} did not warn"
+        for warning in deprecations:
+            assert warning.filename == __file__, (
+                f"warning attributed to {warning.filename}:{warning.lineno},"
+                f" expected {__file__}"
+            )
+            assert warning.lineno == 1
+
 
 class TestNoShimImportsInRepo:
     """In-repo code must import engine modules or repro.api, not shims."""

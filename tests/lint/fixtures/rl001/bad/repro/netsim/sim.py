@@ -1,0 +1,11 @@
+import time
+
+from repro.util import jitter
+
+
+def step():
+    return time.time()
+
+
+def run():
+    return jitter()

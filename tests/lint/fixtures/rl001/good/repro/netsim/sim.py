@@ -1,0 +1,6 @@
+import random
+
+
+def step(seed):
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,4 @@
+def render(items):
+    seen = set(items)
+    lines = [str(item) for item in seen]
+    return lines + list({1, 2})

@@ -1,0 +1,5 @@
+def render(items):
+    seen = set(items)
+    if 3 in seen:
+        return sorted(seen)
+    return len(seen)

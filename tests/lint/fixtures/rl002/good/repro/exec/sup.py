@@ -1,0 +1,3 @@
+def drain(pending):
+    for worker in set(pending):
+        worker.stop()

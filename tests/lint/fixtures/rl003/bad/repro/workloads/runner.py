@@ -1,0 +1,14 @@
+def task_with_class(item):
+    class Result:
+        value = 0
+
+    return Result()
+
+
+def run(pool, items):
+    def nested_task(item):
+        return item
+
+    pool.map(nested_task, items)
+    pool.map(lambda item: item, items)
+    pool.map(task_with_class, items)

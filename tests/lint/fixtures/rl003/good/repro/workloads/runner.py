@@ -1,0 +1,6 @@
+def task(item):
+    return item
+
+
+def run(pool, items):
+    return pool.map(task, items)

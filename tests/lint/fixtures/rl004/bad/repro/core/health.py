@@ -1,0 +1,4 @@
+ISSUE_KINDS = {
+    "known-kind": "a kind the reader records",
+    "stale-kind": "registered but never recorded",
+}

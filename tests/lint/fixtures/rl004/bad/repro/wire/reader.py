@@ -1,0 +1,3 @@
+def read(health):
+    health.record("pcap", "known-kind")
+    health.record("pcap", "unknown-kind")

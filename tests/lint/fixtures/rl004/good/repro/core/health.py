@@ -1,0 +1,5 @@
+ISSUE_KINDS = {
+    "known-kind": "recorded directly",
+    "relayed-kind": "recorded through a conduit",
+    "mapped-kind": "recorded via a *_ISSUE_KINDS mapping",
+}

@@ -1,0 +1,12 @@
+_FALLBACK_ISSUE_KINDS = {
+    "SomeError": "mapped-kind",
+}
+
+
+def _give_up(kind, detail):
+    HEALTH.record("pcap", kind, detail=detail)
+
+
+def read(health):
+    health.record("pcap", "known-kind")
+    _give_up("relayed-kind", "gave up")

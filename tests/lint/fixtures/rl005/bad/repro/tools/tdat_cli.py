@@ -1,0 +1,8 @@
+EXIT_OK = 0
+EXIT_WEIRD = 7
+
+EXIT_CODE_TABLE = """\
+exit codes:
+  0  success
+  9  documented but returned by nothing\
+"""

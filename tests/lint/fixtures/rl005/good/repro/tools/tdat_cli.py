@@ -1,0 +1,8 @@
+EXIT_OK = 0
+EXIT_ERROR = 2
+
+EXIT_CODE_TABLE = """\
+exit codes:
+  0  success
+  2  error\
+"""

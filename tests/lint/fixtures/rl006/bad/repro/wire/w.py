@@ -1,0 +1,3 @@
+def run(obs, key):
+    obs.metrics.counter("unknown.metric").inc()
+    obs.metrics.counter(f"dyn.{key}").inc()

@@ -1,0 +1,5 @@
+def run(obs, tracer, key):
+    obs.metrics.counter("known.metric").inc()
+    obs.metrics.counter(f"dyn.{key}").inc()
+    with tracer.span("known.span"):
+        pass

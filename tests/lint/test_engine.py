@@ -1,0 +1,205 @@
+"""Engine mechanics: suppressions, RL000, baselines, determinism."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    RULES,
+    Finding,
+    load_baseline,
+    render_baseline,
+    run_lint,
+)
+from repro.lint.baseline import BaselineError, write_baseline
+from repro.lint.engine import UNUSED_SUPPRESSION_ID, find_suppressions
+from repro.lint.project import Project, ProjectError
+
+
+def make_project(tmp_path: Path, files: dict[str, str]) -> Project:
+    for relpath, text in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return Project.load(tmp_path, [tmp_path])
+
+
+SET_LOOP = """\
+    def render(items):
+        return [str(item) for item in set(items)]
+"""
+
+SET_LOOP_SUPPRESSED = """\
+    def render(items):
+        return [str(item) for item in set(items)]  # repro: noqa[RL002] order irrelevant here
+"""
+
+
+class TestSuppressions:
+    def test_noqa_on_the_finding_line_silences_it(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": SET_LOOP_SUPPRESSED})
+        result = run_lint(project, select=["RL002"])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule == "RL002"
+
+    def test_unsuppressed_twin_reports(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": SET_LOOP})
+        result = run_lint(project, select=["RL002"])
+        assert [f.rule for f in result.findings] == ["RL002"]
+
+    def test_unused_suppression_becomes_rl000(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {"mod.py": "x = 1  # repro: noqa[RL002] nothing to silence\n"},
+        )
+        result = run_lint(project)
+        assert [f.rule for f in result.findings] == [UNUSED_SUPPRESSION_ID]
+        assert "RL002" in result.findings[0].message
+
+    def test_noqa_names_only_the_listed_rules(self, tmp_path):
+        # An RL001 noqa does not silence an RL002 finding on its line.
+        project = make_project(
+            tmp_path,
+            {
+                "mod.py": (
+                    "def render(items):\n"
+                    "    return [str(i) for i in set(items)]"
+                    "  # repro: noqa[RL001] wrong rule\n"
+                )
+            },
+        )
+        result = run_lint(project, select=["RL002"])
+        rules = sorted(f.rule for f in result.findings)
+        assert rules == [UNUSED_SUPPRESSION_ID, "RL002"]
+
+    def test_one_comment_may_name_several_rules(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "mod.py": (
+                    "def render(items):\n"
+                    "    return [str(i) for i in set(items)]"
+                    "  # repro: noqa[RL001, RL002] both named\n"
+                )
+            },
+        )
+        result = run_lint(project, select=["RL002"])
+        # RL002 silenced; the RL001 half silenced nothing -> RL000.
+        assert [f.rule for f in result.findings] == [UNUSED_SUPPRESSION_ID]
+        assert len(result.suppressed) == 1
+
+    def test_docstring_mention_of_the_syntax_is_not_a_suppression(
+        self, tmp_path
+    ):
+        project = make_project(
+            tmp_path,
+            {
+                "mod.py": (
+                    '"""Suppress with `# repro: noqa[RL002]` inline."""\n'
+                    "x = 1\n"
+                )
+            },
+        )
+        source = project.files[0]
+        assert find_suppressions(source) == []
+        result = run_lint(project)
+        assert result.findings == []
+
+    def test_suppression_reason_is_captured(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": SET_LOOP_SUPPRESSED})
+        (suppression,) = find_suppressions(project.files[0])
+        assert suppression.rules == ("RL002",)
+        assert suppression.reason == "order irrelevant here"
+
+
+class TestBaseline:
+    def test_baselined_findings_do_not_fail_the_run(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": SET_LOOP})
+        first = run_lint(project, select=["RL002"])
+        keys = {f.baseline_key() for f in first.findings}
+        second = run_lint(project, select=["RL002"], baseline_keys=keys)
+        assert second.findings == []
+        assert len(second.baselined) == 1
+        assert second.clean
+
+    def test_baseline_matching_ignores_line_drift(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": SET_LOOP})
+        first = run_lint(project, select=["RL002"])
+        keys = {f.baseline_key() for f in first.findings}
+        shifted = make_project(
+            tmp_path / "v2", {"mod.py": "\n\n\n" + SET_LOOP}
+        )
+        result = run_lint(shifted, select=["RL002"], baseline_keys=keys)
+        assert result.findings == []
+        assert len(result.baselined) == 1
+
+    def test_stale_entries_are_reported_not_silently_kept(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": "x = 1\n"})
+        result = run_lint(
+            project,
+            baseline_keys={("RL002", "gone.py", "was fixed long ago")},
+        )
+        assert result.findings == []
+        assert result.stale_baseline == [
+            ("RL002", "gone.py", "was fixed long ago")
+        ]
+
+    def test_round_trip_is_byte_stable(self, tmp_path):
+        findings = [
+            Finding("RL002", "error", "b.py", 9, 0, "zzz"),
+            Finding("RL002", "error", "a.py", 3, 4, "mmm"),
+            Finding("RL001", "error", "a.py", 3, 0, "aaa"),
+        ]
+        rendered = render_baseline(findings)
+        assert rendered == render_baseline(list(reversed(findings)))
+        assert rendered.endswith("\n")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        loaded = load_baseline(path)
+        assert loaded.keys() == {f.baseline_key() for f in findings}
+        write_baseline(path, findings)
+        assert path.read_text() == rendered
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+        path.write_text("not json")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestEngine:
+    def test_registry_has_the_six_rules(self):
+        assert sorted(RULES) == [
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        ]
+        for rule in RULES.values():
+            assert rule.id and rule.summary and rule.severity
+
+    def test_select_unknown_rule_raises(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": "x = 1\n"})
+        with pytest.raises(KeyError):
+            run_lint(project, select=["RL999"])
+
+    def test_findings_sort_deterministically(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {"b.py": SET_LOOP, "a.py": SET_LOOP},
+        )
+        result = run_lint(project, select=["RL002"])
+        assert [f.path for f in result.findings] == ["a.py", "b.py"]
+
+    def test_syntax_error_is_a_project_error(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        with pytest.raises(ProjectError):
+            Project.load(tmp_path, [tmp_path])
+
+    def test_finding_render_format(self):
+        finding = Finding("RL002", "error", "a.py", 3, 4, "msg")
+        assert finding.render() == "a.py:3:4: RL002 [error] msg"
