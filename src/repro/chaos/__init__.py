@@ -1,0 +1,60 @@
+"""Deterministic chaos engineering for the execution stack.
+
+``repro.chaos`` turns the hardening claims of the campaign runner —
+checkpoint journaling survives torn writes, the work pool contains
+worker crashes and stalls, interruptions are typed and resumable —
+into a continuously verified contract.  One seed compiles to one
+reproducible :class:`~repro.chaos.plan.ChaosPlan` (which injection
+point, which episode, which failure mode), the plan runs against a
+micro campaign, and a differential verifier diffs the outcome against
+a clean run: every fault must end either byte-identical (absorbed) or
+typed-and-resumable — never silent divergence, never a leaked worker.
+
+Entry points: ``python -m repro.chaos`` or ``tdat chaos``; the library
+surface is :func:`run_chaos` / :func:`run_plan` plus the plan
+compiler.  See the fault taxonomy and injection-point catalog in
+``docs/robustness.md``.
+"""
+
+from repro.chaos.fsfaults import FaultyCheckpointFs, SimulatedCrash
+from repro.chaos.plan import (
+    FAULT_CLASSES,
+    INJECTION_POINTS,
+    ChaosHooks,
+    ChaosPlan,
+    FsFault,
+    draw_plan,
+)
+from repro.chaos.runner import (
+    OUTCOME_IDENTICAL,
+    OUTCOME_TYPED,
+    OUTCOME_UNDEFINED,
+    OUTCOME_VIOLATION,
+    ChaosCase,
+    ChaosReport,
+    chaos_config,
+    main,
+    run_chaos,
+    run_plan,
+)
+
+__all__ = [
+    "FAULT_CLASSES",
+    "INJECTION_POINTS",
+    "OUTCOME_IDENTICAL",
+    "OUTCOME_TYPED",
+    "OUTCOME_UNDEFINED",
+    "OUTCOME_VIOLATION",
+    "ChaosCase",
+    "ChaosHooks",
+    "ChaosPlan",
+    "ChaosReport",
+    "FaultyCheckpointFs",
+    "FsFault",
+    "SimulatedCrash",
+    "chaos_config",
+    "draw_plan",
+    "main",
+    "run_chaos",
+    "run_plan",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.chaos`` — run a seeded chaos sweep."""
+
+from repro.chaos.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

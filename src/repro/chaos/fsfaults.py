@@ -1,0 +1,95 @@
+"""Fault-injecting checkpoint filesystem.
+
+:class:`FaultyCheckpointFs` subclasses the
+:class:`~repro.workloads.checkpoint.CheckpointFs` seam and arms one
+:class:`~repro.chaos.plan.FsFault` from a chaos plan: it counts the
+calls reaching each injection point and, at the scheduled call, either
+raises a realistic ``OSError`` (ENOSPC, EIO) or simulates a hard crash.
+
+A simulated crash is a :class:`SimulatedCrash`, deliberately derived
+from ``BaseException``: nothing in the production pipeline catches
+``BaseException`` broadly, so the exception unwinds the campaign the
+way ``os._exit`` would end the process — except the test harness can
+catch it at the very top and then inspect the disk state the "crash"
+left behind.  For torn writes, a *prefix* of the data is written before
+the crash; Python's buffered file object flushes those bytes when the
+``with open(...)`` block closes during unwind, which is precisely how a
+real torn append manifests.
+"""
+
+from __future__ import annotations
+
+import errno
+from typing import Any
+
+from repro.chaos.plan import FS_CRASH, FS_ENOSPC, FS_TORN, FsFault
+from repro.workloads.checkpoint import CheckpointFs
+
+
+class SimulatedCrash(BaseException):
+    """A chaos plan 'crashed the process' here (torn write, kill -9)."""
+
+
+def _fault_error(fault: FsFault) -> OSError:
+    if fault.mode == FS_ENOSPC:
+        return OSError(
+            errno.ENOSPC, "chaos: no space left on device", str(fault.point)
+        )
+    return OSError(errno.EIO, "chaos: input/output error", str(fault.point))
+
+
+class FaultyCheckpointFs(CheckpointFs):
+    """A checkpoint fs that fails exactly once, exactly on schedule.
+
+    ``calls`` tracks how many operations reached each injection point;
+    ``injected`` flips once the armed fault has fired (each fault is
+    one-shot, so the post-fault resume path runs clean even if the same
+    fs instance stays installed).
+    """
+
+    def __init__(self, fault: FsFault) -> None:
+        self.fault = fault
+        self.calls: dict[str, int] = {}
+        self.injected = False
+
+    def _armed(self, point: str) -> bool:
+        self.calls[point] = self.calls.get(point, 0) + 1
+        if self.injected or point != self.fault.point:
+            return False
+        if self.calls[point] != self.fault.at_call:
+            return False
+        self.injected = True
+        return True
+
+    def write(self, handle: Any, data: bytes, point: str) -> None:
+        if not self._armed(point):
+            super().write(handle, data, point)
+            return
+        fault = self.fault
+        if fault.mode == FS_TORN:
+            # Keep at least one byte and lose at least one, so the
+            # result is genuinely torn rather than absent or complete.
+            keep = min(
+                max(1, int(len(data) * fault.fraction)), len(data) - 1
+            )
+            super().write(handle, data[:keep], point)
+            raise SimulatedCrash(f"torn write at {point} (kept {keep}B)")
+        if fault.mode == FS_CRASH:
+            raise SimulatedCrash(f"crash before {point}")
+        raise _fault_error(fault)
+
+    def fsync(self, handle: Any, point: str) -> None:
+        if not self._armed(point):
+            super().fsync(handle, point)
+            return
+        if self.fault.mode == FS_CRASH:
+            raise SimulatedCrash(f"crash at {point}")
+        raise _fault_error(self.fault)
+
+    def replace(self, src: Any, dst: Any, point: str) -> None:
+        if not self._armed(point):
+            super().replace(src, dst, point)
+            return
+        if self.fault.mode == FS_CRASH:
+            raise SimulatedCrash(f"crash before rename at {point}")
+        raise _fault_error(self.fault)

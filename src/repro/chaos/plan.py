@@ -1,0 +1,238 @@
+"""Seeded chaos plans: one seed -> one reproducible fault schedule.
+
+A :class:`ChaosPlan` is the unit of chaos engineering here, mirroring
+how one fuzz seed is the unit of ``repro.faults``: the seed picks a
+*fault class* (round-robin, so any contiguous seed range covers every
+class) and a seeded RNG draws the class's parameters — which episode
+to hit, how many bytes of a journal append survive, how long a stall
+lasts.  The same seed always compiles to the same schedule, so a
+failing plan replays exactly.
+
+Fault classes are named after the *injection point* they exercise;
+:data:`INJECTION_POINTS` is the central registry the RL007 lint rule
+holds in sync with the ``docs/robustness.md`` catalog and with the
+``POINT_*`` constants at the actual injection seams
+(``repro.workloads.checkpoint``, ``repro.exec.pool``, and this
+module).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exec.pool import (
+    POINT_HEARTBEAT_LOSS,
+    POINT_WORKER_CRASH,
+    POINT_WORKER_STALL,
+    WorkerFault,
+)
+from repro.workloads.checkpoint import (
+    POINT_CHECKPOINT_FSYNC,
+    POINT_CHECKPOINT_RENAME,
+    POINT_CHECKPOINT_WRITE,
+    POINT_JOURNAL_APPEND,
+    POINT_JOURNAL_FSYNC,
+)
+
+# Injection points owned by the harness itself rather than a
+# filesystem or worker seam: a retry storm is delivered through the
+# campaign's own transient-fault knob (``config.fail_episodes``), and
+# a drain through a programmatic GracefulShutdown request — the same
+# code path a SIGTERM takes, minus the signal delivery.
+POINT_RETRY_STORM = "pool.retry-storm"
+POINT_DRAIN = "campaign.drain"
+
+#: Every registered injection point, with what injecting there models.
+#: RL007 keeps this dict, the ``POINT_*`` constants at the seams, and
+#: the ``docs/robustness.md`` catalog in sync (all directions).
+INJECTION_POINTS = {
+    "journal.append": "torn/partial or failed append to journal.bin "
+                      "(crash mid-append, ENOSPC, EIO)",
+    "journal.fsync": "journal fsync failure after a successful append",
+    "checkpoint.write": "pcap/manifest tmp-file write failure "
+                        "(ENOSPC, EIO)",
+    "checkpoint.fsync": "pcap/manifest fsync failure before the rename",
+    "checkpoint.rename": "crash or failure at the atomic-publish rename",
+    "pool.worker-crash": "worker hard-killed before the task, or after "
+                         "computing but before delivering the result",
+    "pool.worker-stall": "worker alive but silent mid-task "
+                         "(C-level deadlock, SIGSTOP)",
+    "pool.heartbeat-loss": "heartbeats stop but the task completes",
+    "pool.retry-storm": "transient failures across many episodes at "
+                        "once, stressing the retry/backoff machinery",
+    "campaign.drain": "SIGTERM-style cooperative drain mid-campaign",
+}
+
+#: fault classes = injection points, in registry order; seed N
+#: exercises class ``N % len(FAULT_CLASSES)``.
+FAULT_CLASSES = tuple(INJECTION_POINTS)
+
+#: filesystem fault modes a FsFault can inject.
+FS_TORN = "torn"
+FS_ENOSPC = "enospc"
+FS_EIO = "eio"
+FS_CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class FsFault:
+    """One filesystem fault, armed at the Nth call of one point.
+
+    ``at_call`` is 1-based over the calls reaching ``point`` in one
+    campaign run; ``fraction`` (torn mode) is how much of the write
+    survives before the simulated crash.
+    """
+
+    point: str
+    mode: str
+    at_call: int
+    fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChaosHooks:
+    """The pool-side fault schedule: picklable, shipped to workers.
+
+    ``faults`` maps (task index, attempt) to a
+    :class:`~repro.exec.pool.WorkerFault`; the pool consults it via
+    :meth:`fault_for` right after a task is received.
+    """
+
+    faults: tuple[tuple[int, int, WorkerFault], ...] = ()
+
+    def fault_for(self, index: int, attempt: int) -> WorkerFault | None:
+        for fault_index, fault_attempt, fault in self.faults:
+            if fault_index == index and fault_attempt == attempt:
+                return fault
+        return None
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One seed's complete, reproducible fault schedule."""
+
+    seed: int
+    fault_class: str
+    fs_fault: FsFault | None = None
+    pool_faults: tuple[tuple[int, int, WorkerFault], ...] = ()
+    storm_episodes: tuple[int, ...] = ()
+    drain_after: int | None = None
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this plan needs the multiprocessing backend."""
+        return bool(
+            self.pool_faults or self.storm_episodes
+            or self.fault_class == POINT_DRAIN
+        )
+
+    def injections(self) -> int:
+        """How many individual faults this plan injects."""
+        if self.storm_episodes:
+            return len(self.storm_episodes)
+        return 1
+
+    def describe(self) -> str:
+        parts = [f"seed {self.seed}", self.fault_class]
+        if self.fs_fault is not None:
+            parts.append(
+                f"{self.fs_fault.mode}@call{self.fs_fault.at_call}"
+            )
+        for index, attempt, fault in self.pool_faults:
+            parts.append(f"task{index}/attempt{attempt}")
+            if fault.after_task:
+                parts.append("after-task")
+        if self.storm_episodes:
+            parts.append(f"episodes{list(self.storm_episodes)}")
+        if self.drain_after is not None:
+            parts.append(f"drain-after-{self.drain_after}")
+        return " ".join(parts)
+
+
+def draw_plan(seed: int, tasks: int = 3) -> ChaosPlan:
+    """Compile ``seed`` into a fault schedule over ``tasks`` episodes.
+
+    Deterministic: the class comes from ``seed % len(FAULT_CLASSES)``
+    (so 25 consecutive seeds hit every class at least twice) and every
+    parameter from ``random.Random(seed)``.
+    """
+    if tasks < 2:
+        raise ValueError("a chaos plan needs at least 2 episodes")
+    fault_class = FAULT_CLASSES[seed % len(FAULT_CLASSES)]
+    rng = random.Random(seed)
+    target = rng.randrange(tasks)
+
+    if fault_class == POINT_JOURNAL_APPEND:
+        mode = rng.choice((FS_TORN, FS_ENOSPC, FS_EIO))
+        return ChaosPlan(
+            seed, fault_class,
+            fs_fault=FsFault(
+                point=POINT_JOURNAL_APPEND, mode=mode,
+                at_call=target + 1, fraction=rng.random(),
+            ),
+        )
+    if fault_class == POINT_JOURNAL_FSYNC:
+        return ChaosPlan(
+            seed, fault_class,
+            fs_fault=FsFault(
+                point=POINT_JOURNAL_FSYNC,
+                mode=rng.choice((FS_EIO, FS_ENOSPC)),
+                at_call=target + 1,
+            ),
+        )
+    if fault_class == POINT_CHECKPOINT_WRITE:
+        # Calls 1-2 are the manifest double-write, 3.. the episode
+        # pcaps: both are fair game.
+        return ChaosPlan(
+            seed, fault_class,
+            fs_fault=FsFault(
+                point=POINT_CHECKPOINT_WRITE,
+                mode=rng.choice((FS_ENOSPC, FS_EIO)),
+                at_call=rng.randint(1, tasks + 2),
+            ),
+        )
+    if fault_class == POINT_CHECKPOINT_FSYNC:
+        return ChaosPlan(
+            seed, fault_class,
+            fs_fault=FsFault(
+                point=POINT_CHECKPOINT_FSYNC, mode=FS_EIO,
+                at_call=rng.randint(1, tasks + 2),
+            ),
+        )
+    if fault_class == POINT_CHECKPOINT_RENAME:
+        return ChaosPlan(
+            seed, fault_class,
+            fs_fault=FsFault(
+                point=POINT_CHECKPOINT_RENAME,
+                mode=rng.choice((FS_CRASH, FS_EIO)),
+                at_call=rng.randint(1, tasks + 2),
+            ),
+        )
+    if fault_class == POINT_WORKER_CRASH:
+        fault = WorkerFault(
+            point=POINT_WORKER_CRASH,
+            after_task=rng.random() < 0.5,
+            exitcode=rng.choice((1, 3, 17)),
+        )
+        return ChaosPlan(
+            seed, fault_class, pool_faults=((target, 0, fault),),
+        )
+    if fault_class == POINT_WORKER_STALL:
+        fault = WorkerFault(point=POINT_WORKER_STALL, seconds=5.0)
+        return ChaosPlan(
+            seed, fault_class, pool_faults=((target, 0, fault),),
+        )
+    if fault_class == POINT_HEARTBEAT_LOSS:
+        fault = WorkerFault(point=POINT_HEARTBEAT_LOSS)
+        return ChaosPlan(
+            seed, fault_class, pool_faults=((target, 0, fault),),
+        )
+    if fault_class == POINT_RETRY_STORM:
+        count = rng.randint(max(1, tasks // 2), tasks)
+        episodes = tuple(sorted(rng.sample(range(tasks), count)))
+        return ChaosPlan(seed, fault_class, storm_episodes=episodes)
+    # POINT_DRAIN
+    return ChaosPlan(
+        seed, fault_class, drain_after=rng.randint(1, tasks - 1),
+    )

@@ -70,6 +70,9 @@ ISSUE_KINDS = {
     "task-timeout": "worker task exceeded the supervision timeout",
     "task-retried": "task succeeded only after supervised retries",
     "campaign-resumed": "episodes restored from a checkpoint journal",
+    "checkpoint-salvaged": "torn journal tail quarantined; valid prefix kept",
+    "checkpoint-entry-skipped": "CRC-valid journal entry failed to decode",
+    "chaos-injected": "a seeded chaos plan injected faults into this run",
 }
 
 #: Fast membership check for validation paths.

@@ -75,6 +75,37 @@ STALL_KIND = "WorkerStalled"
 #: cancellation detection while waiting for worker messages.
 _TICK_S = 0.05
 
+# Chaos injection points the worker-side fault hooks implement (see
+# the RL007 catalog in docs/robustness.md).  The names double as
+# :class:`WorkerFault` directives understood by ``_worker_main``.
+POINT_WORKER_CRASH = "pool.worker-crash"
+POINT_WORKER_STALL = "pool.worker-stall"
+POINT_HEARTBEAT_LOSS = "pool.heartbeat-loss"
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One worker-side chaos directive, delivered at a (task, attempt).
+
+    ``point`` selects the behaviour: ``pool.worker-crash`` hard-kills
+    the worker with ``os._exit(exitcode)`` — before running the task,
+    or (``after_task=True``) after computing the result but *before*
+    delivering it, the adversarial moment between the last heartbeat
+    and the ``("done", ...)`` message; ``pool.worker-stall`` stops
+    heartbeats and sleeps ``seconds`` mid-task (the C-level-deadlock
+    shape the stall detector exists for); ``pool.heartbeat-loss``
+    silently stops heartbeats but lets the task complete — liveness
+    noise that must never corrupt a result.
+
+    Instances cross the process boundary inside the pool's ``chaos``
+    hooks object, so they must stay plain picklable data.
+    """
+
+    point: str
+    after_task: bool = False
+    seconds: float = 5.0
+    exitcode: int = 1
+
 
 def available_parallelism() -> int:
     """CPUs actually usable by this process (affinity-aware)."""
@@ -199,13 +230,21 @@ def _run_one(
 # ---------------------------------------------------------------------- #
 # Worker side                                                             #
 # ---------------------------------------------------------------------- #
-def _worker_main(conn, context: Any, heartbeat_interval_s: float) -> None:
+def _worker_main(
+    conn, context: Any, heartbeat_interval_s: float, chaos: Any = None
+) -> None:
     """Serve tasks over ``conn`` until told to exit.
 
     Protocol (parent -> worker): ``("task", attempt, payload)`` or
     ``("exit",)``.  Worker -> parent: ``("start", index, attempt)``
     when a task begins, ``("beat",)`` every heartbeat interval while
     alive, ``("done", outcome)`` when a task finishes.
+
+    ``chaos`` (test-only, installed via ``WorkPool(chaos=...)``) is
+    consulted per (task index, attempt): a returned
+    :class:`WorkerFault` makes this worker crash, stall or go silent
+    at that exact point — the seeded fault schedules ``repro.chaos``
+    drives through the supervisor.
     """
     # Graceful campaign shutdown is the parent's decision: a terminal
     # Ctrl-C must not kill in-flight episodes before they can be
@@ -246,8 +285,31 @@ def _worker_main(conn, context: Any, heartbeat_interval_s: float) -> None:
             if message[0] == "exit":
                 break
             _, attempt, payload = message
+            fault = (
+                chaos.fault_for(payload[1], attempt)
+                if chaos is not None else None
+            )
+            if fault is not None and fault.point == POINT_HEARTBEAT_LOSS:
+                # Go silent, but keep working: heartbeat loss alone
+                # must never change a result, only liveness accounting.
+                stop_beats.set()
             _send(("start", payload[1], attempt))
+            if fault is not None and fault.point == POINT_WORKER_CRASH:
+                if not fault.after_task:
+                    os._exit(fault.exitcode)
+            if fault is not None and fault.point == POINT_WORKER_STALL:
+                stop_beats.set()
+                time.sleep(fault.seconds)
             outcome = _run_one(payload, attempt=attempt)
+            if (
+                fault is not None
+                and fault.point == POINT_WORKER_CRASH
+                and fault.after_task
+            ):
+                # The satellite scenario: die *between* the last
+                # heartbeat and result delivery — the computed outcome
+                # is lost and the supervisor must re-run, not wait.
+                os._exit(fault.exitcode)
             _send(("done", outcome))
     except (EOFError, OSError, KeyboardInterrupt):
         pass
@@ -327,6 +389,7 @@ class WorkPool:
         retry_backoff_s: float = 0.05,
         heartbeat_interval_s: float = 0.5,
         stall_timeout_s: float | None = None,
+        chaos: Any = None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.chunksize = max(1, int(chunksize))  # kept for API compat
@@ -339,6 +402,12 @@ class WorkPool:
         self.retry_backoff_s = max(0.0, float(retry_backoff_s))
         self.heartbeat_interval_s = heartbeat_interval_s
         self.stall_timeout_s = stall_timeout_s
+        # Worker-side fault hooks (repro.chaos): an object with a
+        # picklable ``fault_for(index, attempt) -> WorkerFault | None``.
+        # Parallel backend only — the serial backend runs tasks in the
+        # supervisor's own process, where a crash directive would kill
+        # the campaign itself rather than model a worker failure.
+        self.chaos = chaos
         self.stats: dict[str, int] = {}
 
     @property
@@ -482,7 +551,9 @@ class WorkPool:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, context, self.heartbeat_interval_s),
+            args=(
+                child_conn, context, self.heartbeat_interval_s, self.chaos,
+            ),
             daemon=True,
         )
         try:
@@ -596,7 +667,21 @@ class WorkPool:
                             attempt, payload, retried, queued_at = (
                                 pending.popleft()
                             )
-                            worker.conn.send(("task", attempt, payload))
+                            try:
+                                worker.conn.send(("task", attempt, payload))
+                            except (BrokenPipeError, OSError):
+                                # The worker died while idle — between
+                                # delivering its last result and this
+                                # dispatch.  The task is not lost:
+                                # requeue it at the front and let the
+                                # reconcile pass below retire (and,
+                                # with work pending, replace) the dead
+                                # worker instead of crashing the map.
+                                pending.appendleft(
+                                    (attempt, payload, retried, queued_at)
+                                )
+                                worker.dead = True
+                                continue
                             worker.busy = (payload[1], attempt)
                             worker.payload = payload
                             worker.retried = retried

@@ -28,7 +28,10 @@ ruleset encoding the repo's contracts:
 * **RL005** — exit codes used in ``repro.tools.tdat_cli`` match its
   ``EXIT_CODE_TABLE``;
 * **RL006** — metric and span names recorded via ``repro.obs`` appear
-  in the ``docs/observability.md`` catalog.
+  in the ``docs/observability.md`` catalog;
+* **RL007** — chaos injection points (``POINT_*`` constants at the
+  seams) match the ``INJECTION_POINTS`` registry in
+  ``repro.chaos.plan`` and the ``docs/robustness.md`` catalog.
 
 Run it as ``tdat lint`` or ``python -m repro.lint``; see
 ``docs/static-analysis.md`` for the rule catalog and how to add a

@@ -1,4 +1,4 @@
-"""RL003-RL006: the cross-layer contract rules.
+"""RL003-RL007: the cross-layer contract rules.
 
 Each of these rules pins an invariant that lives in *two* places at
 once — a worker payload and the pickler, an issue kind and its
@@ -27,6 +27,12 @@ EXIT_TABLE_NAME = "EXIT_CODE_TABLE"
 
 #: catalog every obs metric/span name must appear in (RL006).
 OBS_CATALOG = "docs/observability.md"
+
+#: module holding the chaos injection-point registry (RL007).
+CHAOS_MODULE = "repro.chaos.plan"
+INJECTION_REGISTRY_NAME = "INJECTION_POINTS"
+#: catalog every chaos injection point must appear in (RL007).
+ROBUSTNESS_CATALOG = "docs/robustness.md"
 
 
 # ---------------------------------------------------------------------- #
@@ -176,9 +182,16 @@ class IssueKindRegistered(Rule):
                 )
 
 
-def _parse_registry(health: SourceFile) -> dict[str, int] | None:
-    """``ISSUE_KINDS`` keys with the line each is declared on."""
-    for statement in health.tree.body:
+def _parse_registry(
+    source: SourceFile, name: str = ISSUE_REGISTRY_NAME
+) -> dict[str, int] | None:
+    """The ``name`` dict literal's keys with each key's line number.
+
+    Shared registry anchor for RL004 (``ISSUE_KINDS``) and RL007
+    (``INJECTION_POINTS``): both rules pin a string-keyed dict literal
+    as the single source of truth.
+    """
+    for statement in source.tree.body:
         targets: list[ast.expr] = []
         if isinstance(statement, ast.Assign):
             targets = statement.targets
@@ -189,8 +202,7 @@ def _parse_registry(health: SourceFile) -> dict[str, int] | None:
         else:
             continue
         if not any(
-            isinstance(t, ast.Name) and t.id == ISSUE_REGISTRY_NAME
-            for t in targets
+            isinstance(t, ast.Name) and t.id == name for t in targets
         ):
             continue
         if not isinstance(value, ast.Dict):
@@ -505,3 +517,108 @@ class ObsNameCataloged(Rule):
                     source, prefix,
                     name_arg.lineno, name_arg.col_offset, True,
                 )
+
+
+# ---------------------------------------------------------------------- #
+# RL007                                                                   #
+# ---------------------------------------------------------------------- #
+@register_rule
+class InjectionPointCataloged(Rule):
+    """RL007: every chaos injection point agrees with the
+    ``INJECTION_POINTS`` registry and the ``docs/robustness.md``
+    catalog, in all directions."""
+
+    id = "RL007"
+    summary = (
+        "chaos injection points must match the INJECTION_POINTS "
+        "registry in repro.chaos.plan and the docs/robustness.md "
+        "catalog (all directions)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        chaos = project.modules.get(CHAOS_MODULE)
+        if chaos is None:
+            return
+        registry = _parse_registry(chaos, INJECTION_REGISTRY_NAME)
+        if registry is None:
+            yield self.finding(
+                chaos, 1, 0,
+                f"module {CHAOS_MODULE} defines no "
+                f"{INJECTION_REGISTRY_NAME} dict literal; the "
+                f"injection-point registry is the anchor this rule "
+                f"checks against",
+            )
+            return
+        # Direction 1: every POINT_* constant anywhere in the tree
+        # names a registered injection point — the constants ARE the
+        # call-site seams, so an unregistered one is an injection point
+        # the chaos planner can never schedule.
+        constants = sorted(
+            self._point_constants(project),
+            key=lambda use: (use[0].relpath, use[2], use[3]),
+        )
+        for source, value, line, col in constants:
+            if value not in registry:
+                yield self.finding(
+                    source, line, col,
+                    f"injection point '{value}' is not in "
+                    f"{INJECTION_REGISTRY_NAME} ({chaos.relpath}); "
+                    f"register it so chaos plans can schedule it",
+                )
+        # Direction 2: every registered point has at least one POINT_*
+        # constant backing it — a registry entry with no seam is dead.
+        declared = {value for _, value, _, _ in constants}
+        for point, line in sorted(registry.items()):
+            if point not in declared:
+                yield self.finding(
+                    chaos, line, 0,
+                    f"injection point '{point}' is registered in "
+                    f"{INJECTION_REGISTRY_NAME} but no POINT_* constant "
+                    f"declares it at a seam; remove the stale entry",
+                )
+        # Direction 3: every registered point is documented (backticked)
+        # in the robustness catalog.
+        catalog_path = project.artifact(ROBUSTNESS_CATALOG)
+        if not catalog_path.is_file():
+            yield self.finding(
+                chaos, 1, 0,
+                f"{ROBUSTNESS_CATALOG} is missing but injection points "
+                f"are registered; create the catalog so the fault "
+                f"surface stays documented",
+            )
+            return
+        tokens = set(
+            _BACKTICK_RE.findall(catalog_path.read_text(encoding="utf-8"))
+        )
+        for point, line in sorted(registry.items()):
+            if point not in tokens:
+                yield self.finding(
+                    chaos, line, 0,
+                    f"injection point '{point}' is not cataloged in "
+                    f"{ROBUSTNESS_CATALOG}; add it (backticked) with "
+                    f"the failure modes it models",
+                )
+
+    @staticmethod
+    def _point_constants(
+        project: Project,
+    ) -> Iterator[tuple[SourceFile, str, int, int]]:
+        """Top-level ``POINT_* = "..."`` string constants, tree-wide."""
+        for source in project.files:
+            for statement in source.tree.body:
+                if not isinstance(statement, ast.Assign):
+                    continue
+                if not isinstance(statement.value, ast.Constant):
+                    continue
+                if not isinstance(statement.value.value, str):
+                    continue
+                for target in statement.targets:
+                    if isinstance(target, ast.Name) and target.id.startswith(
+                        "POINT_"
+                    ):
+                        yield (
+                            source,
+                            statement.value.value,
+                            statement.value.lineno,
+                            statement.value.col_offset,
+                        )

@@ -9,6 +9,8 @@ one parser, one error discipline and one exit-code contract:
 * ``tdat campaign <name>`` — run a measurement campaign;
 * ``tdat report`` — run campaigns and render the survey tables;
 * ``tdat fuzz`` — fault-injection harness over the ingest pipeline;
+* ``tdat chaos`` — seeded chaos sweep over the execution stack
+  (checkpoint journal, work pool, graceful drain);
 * ``tdat anonymize / pcap2bgp / tcptrace / bgplot`` — the offline
   capture tools.
 
@@ -78,6 +80,7 @@ exit codes:
 SUBCOMMANDS = (
     "analyze",
     "campaign",
+    "chaos",
     "fuzz",
     "report",
     "stats",
@@ -272,6 +275,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(drop wall-clock / execution-substrate entries)",
     )
     p.set_defaults(handler=_cmd_stats)
+
+    p = add_parser(
+        "chaos",
+        help="seeded chaos sweep over the campaign execution stack",
+    )
+    p.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of consecutive chaos seeds to sweep (default: 25)",
+    )
+    p.add_argument(
+        "--base-seed", type=int, default=0,
+        help="first seed of the sweep (default: 0)",
+    )
+    p.add_argument(
+        "--transfers", type=int, default=3,
+        help="episodes per micro campaign (default: 3)",
+    )
+    p.add_argument(
+        "--matrix-out", metavar="PATH",
+        help="write the per-fault-class outcome matrix (JSON) to PATH",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="chaos_json",
+        help="emit the full chaos report as JSON",
+    )
+    p.add_argument("--verbose", action="store_true", help="print every case")
+    p.set_defaults(handler=_cmd_chaos)
 
     p = add_parser(
         "fuzz", help="fault-injection harness over the ingest pipeline"
@@ -544,6 +574,23 @@ def _metric_summary(entry: dict) -> str:
         f"max={_fmt_num(entry.get('max', 0))} "
         f"total={_fmt_num(entry.get('total', 0))}"
     )
+
+
+def _cmd_chaos(args) -> int:
+    from repro.chaos import runner
+
+    chaos_argv = [
+        "--seeds", str(args.seeds),
+        "--base-seed", str(args.base_seed),
+        "--transfers", str(args.transfers),
+    ]
+    if args.matrix_out:
+        chaos_argv += ["--matrix-out", args.matrix_out]
+    if args.chaos_json:
+        chaos_argv.append("--json")
+    if args.verbose:
+        chaos_argv.append("--verbose")
+    return EXIT_ISSUES if runner.main(chaos_argv) else EXIT_OK
 
 
 def _cmd_fuzz(args) -> int:

@@ -63,6 +63,7 @@ from repro.wire.pcap import write_pcap
 from repro.workloads.checkpoint import (
     CampaignInterrupted,
     CampaignJournal,
+    CheckpointWriteError,
     GracefulShutdown,
 )
 from repro.workloads.scenarios import MonitoringSetup, RouterParams
@@ -728,7 +729,18 @@ def run_campaign(
     journal = None
     cached: dict[tuple[str, int], tuple[list, TraceHealth]] = {}
     if checkpoint_dir is not None:
-        journal = CampaignJournal(checkpoint_dir, config)
+        # Opening the journal scans it and salvages a torn tail (a
+        # benign checkpoint-salvaged issue on ``health``); a journal
+        # that cannot even be created (disk full) is typed the same as
+        # a mid-run write failure: interrupted, resumable.
+        try:
+            journal = CampaignJournal(checkpoint_dir, config, health=health)
+        except CheckpointWriteError as exc:
+            raise CampaignInterrupted(
+                config.name, completed=0, total=len(tasks),
+                checkpoint_dir=checkpoint_dir,
+                reason=f"checkpoint write failed: {exc}",
+            ) from exc
         if resume_from is not None:
             wanted = set(tasks)
             cached = {
@@ -753,10 +765,14 @@ def run_campaign(
 
     def _episode_done(outcome) -> None:
         task = todo[outcome.index]
-        fresh[task] = outcome
+        # Journal before counting the episode as fresh: if the write
+        # fails (CheckpointWriteError propagating out of pool.map), the
+        # interrupted-progress count only covers episodes that are
+        # actually on disk and will survive a resume.
         if journal is not None and outcome.ok:
             records, episode_health, pcap_bytes, _obs = outcome.value
             journal.write(task, records, episode_health, pcap_bytes)
+        fresh[task] = outcome
         if on_episode is not None:
             on_episode(task, outcome)
 
@@ -765,6 +781,7 @@ def run_campaign(
     if shutdown is None:
         shutdown = GracefulShutdown(install_signals=journal is not None)
     interrupted = False
+    interrupt_reason = ""
     with shutdown:
         try:
             with obs.tracer.span(
@@ -780,12 +797,19 @@ def run_campaign(
                 )
         except PoolInterrupted:
             interrupted = True
+        except CheckpointWriteError as exc:
+            # The journal cannot make progress (disk full, EIO ...).
+            # The pool's finally block already reaped every worker;
+            # everything journaled before the failure resumes cleanly.
+            interrupted = True
+            interrupt_reason = f"checkpoint write failed: {exc}"
     if interrupted:
         raise CampaignInterrupted(
             config.name,
             completed=len(cached) + len(fresh),
             total=len(tasks),
             checkpoint_dir=checkpoint_dir,
+            reason=interrupt_reason,
         )
 
     def _fold(records: list[TransferRecord], episode_health: TraceHealth):

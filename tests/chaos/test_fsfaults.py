@@ -1,0 +1,110 @@
+"""FaultyCheckpointFs: fires exactly once, exactly on schedule."""
+
+import errno
+
+import pytest
+
+from repro.chaos.fsfaults import FaultyCheckpointFs, SimulatedCrash
+from repro.chaos.plan import FS_CRASH, FS_EIO, FS_ENOSPC, FS_TORN, FsFault
+from repro.workloads.checkpoint import (
+    POINT_CHECKPOINT_RENAME,
+    POINT_JOURNAL_APPEND,
+    POINT_JOURNAL_FSYNC,
+)
+
+
+def _write(fs, path, data, point=POINT_JOURNAL_APPEND):
+    with open(path, "wb") as handle:
+        fs.write(handle, data, point)
+
+
+class TestScheduling:
+    def test_fires_on_the_scheduled_call_and_only_there(self, tmp_path):
+        fs = FaultyCheckpointFs(
+            FsFault(point=POINT_JOURNAL_APPEND, mode=FS_EIO, at_call=3)
+        )
+        target = tmp_path / "out"
+        _write(fs, target, b"one")
+        _write(fs, target, b"two")
+        with pytest.raises(OSError) as err:
+            _write(fs, target, b"three")
+        assert err.value.errno == errno.EIO
+        assert fs.injected
+        assert fs.calls[POINT_JOURNAL_APPEND] == 3
+
+    def test_one_shot_the_resume_path_runs_clean(self, tmp_path):
+        fs = FaultyCheckpointFs(
+            FsFault(point=POINT_JOURNAL_APPEND, mode=FS_ENOSPC, at_call=1)
+        )
+        target = tmp_path / "out"
+        with pytest.raises(OSError) as err:
+            _write(fs, target, b"boom")
+        assert err.value.errno == errno.ENOSPC
+        # The same instance, left installed, must not fire again.
+        _write(fs, target, b"after")
+        assert target.read_bytes() == b"after"
+        assert fs.calls[POINT_JOURNAL_APPEND] == 2
+
+    def test_other_points_pass_through_but_are_counted(self, tmp_path):
+        fs = FaultyCheckpointFs(
+            FsFault(point=POINT_JOURNAL_FSYNC, mode=FS_EIO, at_call=1)
+        )
+        target = tmp_path / "out"
+        _write(fs, target, b"data")  # journal.append: not the armed point
+        assert target.read_bytes() == b"data"
+        assert not fs.injected
+        assert fs.calls == {POINT_JOURNAL_APPEND: 1}
+
+
+class TestModes:
+    def test_torn_write_keeps_a_strict_nonempty_prefix(self, tmp_path):
+        for fraction in (0.0, 0.4, 1.0):
+            fs = FaultyCheckpointFs(
+                FsFault(
+                    point=POINT_JOURNAL_APPEND, mode=FS_TORN,
+                    at_call=1, fraction=fraction,
+                )
+            )
+            target = tmp_path / f"torn-{fraction}"
+            data = b"0123456789"
+            with pytest.raises(SimulatedCrash):
+                _write(fs, target, data)
+            kept = target.read_bytes()
+            # Genuinely torn: at least one byte written, at least one
+            # lost, and what survives is a prefix of the payload.
+            assert 1 <= len(kept) <= len(data) - 1
+            assert data.startswith(kept)
+
+    def test_fsync_failure_modes(self, tmp_path):
+        for mode, expected in ((FS_EIO, errno.EIO), (FS_ENOSPC, errno.ENOSPC)):
+            fs = FaultyCheckpointFs(
+                FsFault(point=POINT_JOURNAL_FSYNC, mode=mode, at_call=1)
+            )
+            with open(tmp_path / f"f-{mode}", "wb") as handle:
+                handle.write(b"data")
+                with pytest.raises(OSError) as err:
+                    fs.fsync(handle, POINT_JOURNAL_FSYNC)
+                assert err.value.errno == expected
+
+    def test_crash_at_rename_leaves_the_destination_untouched(
+        self, tmp_path
+    ):
+        fs = FaultyCheckpointFs(
+            FsFault(
+                point=POINT_CHECKPOINT_RENAME, mode=FS_CRASH, at_call=1
+            )
+        )
+        src = tmp_path / "src.tmp"
+        dst = tmp_path / "dst"
+        src.write_bytes(b"new")
+        dst.write_bytes(b"old")
+        with pytest.raises(SimulatedCrash):
+            fs.replace(src, dst, POINT_CHECKPOINT_RENAME)
+        assert dst.read_bytes() == b"old"
+        assert src.read_bytes() == b"new"
+
+    def test_simulated_crash_is_not_an_ordinary_exception(self):
+        # Nothing in the pipeline catches BaseException broadly, so a
+        # simulated crash unwinds like a process kill would.
+        assert issubclass(SimulatedCrash, BaseException)
+        assert not issubclass(SimulatedCrash, Exception)

@@ -1,0 +1,80 @@
+"""Chaos plans: seeded, deterministic, covering every fault class."""
+
+import pytest
+
+from repro.chaos.plan import (
+    FAULT_CLASSES,
+    INJECTION_POINTS,
+    POINT_DRAIN,
+    ChaosHooks,
+    draw_plan,
+)
+
+
+class TestDrawPlan:
+    def test_same_seed_compiles_to_the_same_schedule(self):
+        for seed in range(30):
+            assert draw_plan(seed) == draw_plan(seed)
+
+    def test_any_contiguous_window_covers_every_fault_class(self):
+        for base in (0, 7, 1000):
+            window = {
+                draw_plan(base + i).fault_class
+                for i in range(len(FAULT_CLASSES))
+            }
+            assert window == set(FAULT_CLASSES)
+
+    def test_fault_classes_are_exactly_the_registered_points(self):
+        assert FAULT_CLASSES == tuple(INJECTION_POINTS)
+
+    def test_plans_target_only_existing_episodes(self):
+        tasks = 4
+        for seed in range(40):
+            plan = draw_plan(seed, tasks=tasks)
+            if plan.fs_fault is not None:
+                # Journal appends: one per episode.  Checkpoint writes:
+                # the two manifest copies plus one pcap per episode.
+                assert 1 <= plan.fs_fault.at_call <= tasks + 2
+            for index, attempt, _fault in plan.pool_faults:
+                assert 0 <= index < tasks
+                assert attempt == 0
+            for episode in plan.storm_episodes:
+                assert 0 <= episode < tasks
+            if plan.fault_class == POINT_DRAIN:
+                # Draining after the last episode would be a no-op
+                # plan; the schedule always leaves work undone.
+                assert 1 <= plan.drain_after < tasks
+
+    def test_fewer_than_two_episodes_refused(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            draw_plan(0, tasks=1)
+
+    def test_parallel_iff_the_fault_needs_real_workers(self):
+        for seed in range(20):
+            plan = draw_plan(seed)
+            needs_pool = bool(
+                plan.pool_faults or plan.storm_episodes
+                or plan.drain_after is not None
+            )
+            assert plan.parallel == needs_pool
+
+    def test_describe_names_the_seed_and_class(self):
+        plan = draw_plan(17)
+        assert f"seed {plan.seed}" in plan.describe()
+        assert plan.fault_class in plan.describe()
+
+
+class TestChaosHooks:
+    def test_fault_for_matches_index_and_attempt(self):
+        fault = draw_plan(5).pool_faults[0][2]
+        hooks = ChaosHooks(faults=((2, 0, fault),))
+        assert hooks.fault_for(2, 0) is fault
+        assert hooks.fault_for(2, 1) is None
+        assert hooks.fault_for(1, 0) is None
+
+    def test_hooks_survive_pickling(self):
+        # The schedule ships to workers inside the pool's task payload.
+        import pickle
+
+        hooks = ChaosHooks(faults=((0, 0, draw_plan(5).pool_faults[0][2]),))
+        assert pickle.loads(pickle.dumps(hooks)) == hooks

@@ -1,0 +1,142 @@
+"""Worker-side chaos hooks, end-to-end through a real supervised pool,
+plus the regression for dispatch to a worker that died between
+delivering a result and receiving its next task."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.chaos.plan import ChaosHooks
+from repro.exec.pool import (
+    CRASH_KIND,
+    POINT_HEARTBEAT_LOSS,
+    POINT_WORKER_CRASH,
+    POINT_WORKER_STALL,
+    STALL_KIND,
+    WorkerFault,
+    WorkPool,
+)
+
+ITEMS = list(range(4))
+
+
+# Task functions must be module-level to be picklable by reference.
+def _square(x: int) -> int:
+    return x * x
+
+
+def _assert_no_leaked_children():
+    deadline = time.monotonic() + 3.0
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+def _chaos_pool(fault, index=1, **knobs):
+    return WorkPool(
+        workers=2,
+        max_retries=2,
+        retry_backoff_s=0.0,
+        chaos=ChaosHooks(faults=((index, 0, fault),)),
+        **knobs,
+    )
+
+
+class TestWorkerFaultDirectives:
+    @pytest.mark.parametrize("after_task", [False, True])
+    def test_crash_directive_recovers_via_retry(self, after_task):
+        # after_task=True is the adversarial moment: the worker computed
+        # the outcome but dies before delivering it — the supervisor
+        # must re-run the task, never wait on or trust the lost result.
+        fault = WorkerFault(
+            point=POINT_WORKER_CRASH, after_task=after_task, exitcode=7
+        )
+        pool = _chaos_pool(fault)
+        outcomes = pool.map(_square, ITEMS)
+        assert [o.value for o in outcomes] == [x * x for x in ITEMS]
+        hit = outcomes[1]
+        assert hit.attempts == 2
+        assert [e.kind for e in hit.retried] == [CRASH_KIND]
+        assert pool.stats["crashes"] >= 1
+        _assert_no_leaked_children()
+
+    def test_stall_directive_detected_killed_and_retried(self):
+        fault = WorkerFault(point=POINT_WORKER_STALL, seconds=30.0)
+        pool = _chaos_pool(
+            fault, heartbeat_interval_s=0.05, stall_timeout_s=0.5
+        )
+        started = time.monotonic()
+        outcomes = pool.map(_square, ITEMS)
+        # Detection came from the heartbeat gap, not the 30s sleep.
+        assert time.monotonic() - started < 15.0
+        assert [o.value for o in outcomes] == [x * x for x in ITEMS]
+        assert [e.kind for e in outcomes[1].retried] == [STALL_KIND]
+        assert pool.stats["stalls"] >= 1
+        _assert_no_leaked_children()
+
+    def test_heartbeat_loss_never_changes_the_result(self):
+        # Heartbeats stop but the task completes; without a stall
+        # timeout the silence is cosmetic and the result must land
+        # on the first attempt.
+        fault = WorkerFault(point=POINT_HEARTBEAT_LOSS)
+        pool = _chaos_pool(fault, heartbeat_interval_s=0.05)
+        outcomes = pool.map(_square, ITEMS)
+        assert [o.value for o in outcomes] == [x * x for x in ITEMS]
+        assert outcomes[1].attempts == 1
+        assert outcomes[1].retried == ()
+        _assert_no_leaked_children()
+
+    def test_serial_backend_ignores_chaos_hooks(self):
+        # A crash directive in the serial backend would kill the
+        # campaign process itself; the hooks are parallel-only.
+        fault = WorkerFault(point=POINT_WORKER_CRASH, exitcode=7)
+        pool = WorkPool(
+            workers=1,
+            chaos=ChaosHooks(faults=((1, 0, fault),)),
+        )
+        outcomes = pool.map(_square, ITEMS)
+        assert [o.value for o in outcomes] == [x * x for x in ITEMS]
+        assert all(o.attempts == 1 for o in outcomes)
+
+
+class _KillFirstPool(WorkPool):
+    """Kills each worker right after spawning it (first spawn wave only).
+
+    Reproduces the window the dispatch-containment fix covers: the
+    parent holds a connection to a worker that is already dead, and the
+    next ``conn.send`` raises BrokenPipeError.  Before the fix that
+    exception escaped ``map``; now the task is requeued and the dead
+    worker retired and replaced.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._killed = 0
+
+    def _spawn_worker(self, ctx, context):
+        worker = super()._spawn_worker(ctx, context)
+        if self._killed < self.workers:
+            self._killed += 1
+            worker.proc.kill()
+            worker.proc.join(timeout=5.0)
+        return worker
+
+    def _alive_after_kill_wave(self):
+        return self.stats["spawned"] - self._killed
+
+
+class TestDispatchToDeadWorker:
+    def test_broken_pipe_on_dispatch_is_contained(self):
+        # Every first-wave worker is dead before dispatch: send() hits
+        # a closed pipe.  The map must still complete every task via
+        # replacement workers instead of raising BrokenPipeError.
+        pool = _KillFirstPool(workers=2, max_retries=2, retry_backoff_s=0.0)
+        outcomes = pool.map(_square, ITEMS)
+        assert [o.value for o in outcomes] == [x * x for x in ITEMS]
+        assert pool.stats["crashes"] >= 1
+        assert pool.stats["replacements"] >= 1
+        assert pool._alive_after_kill_wave() >= 1
+        _assert_no_leaked_children()

@@ -1,0 +1,8 @@
+POINT_APPEND = "journal.append"
+POINT_FSYNC = "journal.fsync"
+
+INJECTION_POINTS = {
+    "journal.append": "torn or failed journal append",
+    "journal.fsync": "journal fsync failure",
+    "stale.point": "registered but backed by no seam constant",
+}

@@ -1,0 +1,1 @@
+POINT_ROGUE = "rogue.point"

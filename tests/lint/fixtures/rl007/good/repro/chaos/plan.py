@@ -1,0 +1,6 @@
+POINT_RETRY_STORM = "pool.retry-storm"
+
+INJECTION_POINTS = {
+    "journal.append": "torn or failed journal append",
+    "pool.retry-storm": "transient failures across many episodes",
+}

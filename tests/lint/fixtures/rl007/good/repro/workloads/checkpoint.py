@@ -1,0 +1,1 @@
+POINT_JOURNAL_APPEND = "journal.append"

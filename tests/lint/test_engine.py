@@ -175,9 +175,10 @@ class TestBaseline:
 
 
 class TestEngine:
-    def test_registry_has_the_six_rules(self):
+    def test_registry_has_the_seven_rules(self):
         assert sorted(RULES) == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL007",
         ]
         for rule in RULES.values():
             assert rule.id and rule.summary and rule.severity

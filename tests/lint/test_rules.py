@@ -24,7 +24,7 @@ def locations(result) -> list[tuple[str, str, int]]:
 
 
 @pytest.mark.parametrize(
-    "rule", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+    "rule", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
 )
 def test_good_twin_is_clean_under_every_rule(rule):
     result = lint_fixture(f"{rule.lower()}/good")
@@ -137,4 +137,32 @@ class TestRL006:
 
     def test_catalog_covers_static_names_and_prefixes(self):
         result = lint_fixture("rl006/good", select=["RL006"])
+        assert result.findings == []
+
+
+class TestRL007:
+    def test_unregistered_stale_and_uncataloged_points(self):
+        result = lint_fixture("rl007/bad", select=["RL007"])
+        assert locations(result) == [
+            ("RL007", "repro/chaos/plan.py", 6),
+            ("RL007", "repro/chaos/plan.py", 7),
+            ("RL007", "repro/workloads/checkpoint.py", 1),
+        ]
+        by_line = {
+            (f.path, f.line): f.message for f in result.findings
+        }
+        # A registered point missing from the robustness catalog.
+        assert "'journal.fsync'" in by_line[("repro/chaos/plan.py", 6)]
+        assert "not cataloged" in by_line[("repro/chaos/plan.py", 6)]
+        # A registry entry no POINT_* constant backs.
+        assert "'stale.point'" in by_line[("repro/chaos/plan.py", 7)]
+        assert "stale" in by_line[("repro/chaos/plan.py", 7)]
+        # A seam constant naming an unregistered point.
+        assert (
+            "'rogue.point'"
+            in by_line[("repro/workloads/checkpoint.py", 1)]
+        )
+
+    def test_registry_constants_and_catalog_in_sync(self):
+        result = lint_fixture("rl007/good", select=["RL007"])
         assert result.findings == []

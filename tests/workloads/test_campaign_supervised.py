@@ -152,15 +152,18 @@ class TestCheckpointJournal:
     def test_layout_and_completion_markers(self, tmp_path):
         ckpt = tmp_path / "ckpt"
         run_campaign(_small_config(), checkpoint_dir=ckpt)
-        assert (ckpt / "manifest.json").exists()
-        ckpts = sorted(p.name for p in (ckpt / "episodes").glob("*.ckpt"))
+        # One CRC-framed journal entry per episode; the pcaps ride
+        # alongside as separate atomic artifacts.
+        journal = CampaignJournal(ckpt, _small_config())
+        assert len(journal.load()) == TRANSFERS
         pcaps = sorted(p.name for p in (ckpt / "episodes").glob("*.pcap"))
-        assert len(ckpts) == TRANSFERS
-        assert [n.removesuffix(".ckpt") for n in ckpts] == [
-            n.removesuffix(".pcap") for n in pcaps
-        ]
-        manifest = json.loads((ckpt / "manifest.json").read_text())
-        assert manifest["config_sha256"] == config_digest(_small_config())
+        assert len(pcaps) == TRANSFERS
+        raw = (ckpt / "journal.bin").read_bytes()
+        assert raw.startswith(b"TDJ2")
+        # Both manifest copies exist and agree on the config binding.
+        for name in ("manifest.json", "manifest.replica.json"):
+            manifest = json.loads((ckpt / name).read_text())
+            assert manifest["config_sha256"] == config_digest(_small_config())
 
     def test_resume_under_different_config_refuses(self, tmp_path):
         ckpt = tmp_path / "ckpt"
@@ -171,19 +174,30 @@ class TestCheckpointJournal:
                 checkpoint_dir=ckpt, resume_from=ckpt,
             )
 
-    def test_torn_entry_is_rerun_not_trusted(self, tmp_path):
+    def test_torn_tail_is_salvaged_and_rerun_not_trusted(self, tmp_path):
         ckpt = tmp_path / "ckpt"
         run_campaign(_small_config(), checkpoint_dir=ckpt)
-        victim = sorted((ckpt / "episodes").glob("*.ckpt"))[0]
-        victim.write_bytes(b"torn write, not a pickle")
-        journal = CampaignJournal(ckpt, _small_config())
+        journal_path = ckpt / "journal.bin"
+        raw = journal_path.read_bytes()
+        # Tear the last frame mid-payload, as a crash mid-append would.
+        journal_path.write_bytes(raw[: len(raw) - 10])
+        health = TraceHealth()
+        journal = CampaignJournal(ckpt, _small_config(), health=health)
         assert len(journal.load()) == TRANSFERS - 1
+        salvage = [
+            i for i in health.issues if i.kind == "checkpoint-salvaged"
+        ]
+        assert len(salvage) == 1 and salvage[0].benign
+        # The torn bytes were quarantined and the journal truncated to
+        # the longest valid prefix.
+        assert list(ckpt.glob("journal.torn-*"))
+        assert len(journal_path.read_bytes()) < len(raw) - 10
         ran = []
         run_campaign(
             _small_config(), checkpoint_dir=ckpt, resume_from=ckpt,
             on_episode=lambda task, outcome: ran.append(task),
         )
-        assert len(ran) == 1  # only the damaged episode re-ran
+        assert len(ran) == 1  # only the torn episode re-ran
 
 
 class TestWatchdogContainment:
