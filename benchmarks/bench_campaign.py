@@ -1,355 +1,34 @@
 #!/usr/bin/env python3
-"""Benchmark the parallel campaign engine against the serial baseline.
+"""Deprecated launcher: the benchmark harness moved to ``tdat bench``.
 
-Runs the same campaign twice — ``workers=1`` and ``workers=N`` — each
-in a fresh subprocess (so wall time and peak RSS are clean, with no
-warm caches or shared interpreter state), verifies the two runs
-produced byte-identical reports, and appends one entry to a
-schema-versioned JSON history::
-
-    python benchmarks/bench_campaign.py --transfers 6 --workers 2 \
-        --out BENCH_campaign.json --timestamp "$(date -u -Iseconds)"
-
-The output file is ``{"schema": 1, "runs": [...]}`` — one entry per
-invocation, stamped with the repo's git SHA and the supplied
-``--timestamp``, so the file accumulates a comparable performance
-history across commits.  A pre-existing file in any other shape is
-replaced with a fresh history.
-
-Speedup is machine-dependent: on a single-CPU box the parallel run
-cannot win and the report says so honestly (``cpus`` is recorded).
-Pass ``--assert-speedup X`` to fail the run unless speedup >= X —
-CI uses this on multi-core runners as a regression gate.
-
-``--obs-overhead`` additionally measures the observability subsystem:
-a serial run with observability enabled, a second disabled sample, and
-a no-op dispatch micro-benchmark, with ``--assert-obs-overhead`` /
-``--assert-obs-disabled-overhead`` as CI gates on the ratios.
+This script is the pre-promotion entry point kept for compatibility;
+it delegates to :mod:`repro.tools.bench` (run it as ``tdat bench`` or
+``python -m repro.tools.bench``).  Every historical flag still works —
+``--obs-overhead`` and ``--checkpoint-overhead`` map onto the modes of
+the promoted harness.  Removal schedule: see the deprecation table in
+``docs/architecture.md``.
 """
 
 from __future__ import annotations
 
-import argparse
-import hashlib
-import json
-import os
-import subprocess
 import sys
-import time
 from pathlib import Path
 
 REPO_SRC = Path(__file__).resolve().parent.parent / "src"
 
-#: bump when the BENCH_campaign.json entry layout changes incompatibly.
-SCHEMA = 1
-
-
-def _git_sha() -> str:
-    """The repo's HEAD commit, or a CI-provided SHA, or "unknown"."""
-    try:
-        proc = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=Path(__file__).resolve().parent,
-            capture_output=True, text=True, timeout=10,
-        )
-        if proc.returncode == 0 and proc.stdout.strip():
-            return proc.stdout.strip()
-    except OSError:
-        pass
-    return os.environ.get("GITHUB_SHA", "unknown")
-
-
-def _append_history(out: Path, entry: dict) -> None:
-    """Append ``entry`` to the schema-versioned run history at ``out``."""
-    history = {"schema": SCHEMA, "runs": []}
-    if out.exists():
-        try:
-            existing = json.loads(out.read_text())
-            if (
-                isinstance(existing, dict)
-                and existing.get("schema") == SCHEMA
-                and isinstance(existing.get("runs"), list)
-            ):
-                history = existing
-        except (OSError, json.JSONDecodeError):
-            pass  # non-conforming file: start a fresh history
-    history["runs"].append(entry)
-    out.write_text(json.dumps(history, indent=2) + "\n")
-
-
-def _child(args: argparse.Namespace) -> int:
-    """One measured run; emits a single JSON line on stdout."""
-    from repro.api import Pipeline
-
-    start = time.perf_counter()
-    result = Pipeline(workers=args.workers, obs=args.obs).campaign(
-        args.campaign,
-        seed=args.seed,
-        transfers=args.transfers,
-        overrides={"zero_bug_episodes": 0},
-        checkpoint_dir=args.checkpoint_dir or None,
-    )
-    wall_s = time.perf_counter() - start
-    payload = json.dumps(result.to_dict(), sort_keys=True)
-    try:
-        import resource
-
-        usage = resource.getrusage(resource.RUSAGE_SELF)
-        children = resource.getrusage(resource.RUSAGE_CHILDREN)
-        peak_rss_kb = max(usage.ru_maxrss, children.ru_maxrss)
-    except ImportError:  # non-POSIX: report what we can
-        peak_rss_kb = 0
-    print(json.dumps({
-        "wall_s": wall_s,
-        "records": len(result.records),
-        "digest": hashlib.sha256(payload.encode()).hexdigest(),
-        "peak_rss_kb": peak_rss_kb,
-        "health_ok": result.health.ok,
-    }))
-    return 0
-
-
-def _measure(
-    args: argparse.Namespace,
-    workers: int,
-    checkpoint_dir: str = "",
-    obs: bool = False,
-) -> dict:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
-    cmd = [
-        sys.executable, str(Path(__file__).resolve()),
-        "--as-child",
-        "--campaign", args.campaign,
-        "--seed", str(args.seed),
-        "--transfers", str(args.transfers),
-        "--workers", str(workers),
-    ]
-    if checkpoint_dir:
-        cmd += ["--checkpoint-dir", checkpoint_dir]
-    if obs:
-        cmd += ["--obs"]
-    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
-    if proc.returncode != 0:
-        sys.stderr.write(proc.stderr)
-        raise RuntimeError(f"child run (workers={workers}) failed")
-    return json.loads(proc.stdout.strip().splitlines()[-1])
-
-
-def _noop_dispatch_ns(iterations: int = 200_000) -> float:
-    """Per-operation cost of a disabled instrumentation point, in ns.
-
-    Measures the exact disabled fast path instrumented code takes:
-    ``get_obs()`` once plus an ``enabled`` check per operation — the
-    "disabled costs ~nothing" contract, quantified.
-    """
-    from repro.obs import get_obs
-
-    counter = get_obs().metrics.counter("bench.noop")
-    start = time.perf_counter()
-    for _ in range(iterations):
-        obs = get_obs()
-        if obs.enabled:
-            counter.inc()
-    elapsed = time.perf_counter() - start
-    return elapsed / iterations * 1e9
-
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--campaign", default="ISP_A-Quagga")
-    parser.add_argument("--seed", type=int, default=11)
-    parser.add_argument("--transfers", type=int, default=6)
-    parser.add_argument(
-        "--workers", type=int, default=4,
-        help="worker count of the parallel run (default: 4)",
-    )
-    parser.add_argument("--out", default="BENCH_campaign.json")
-    parser.add_argument(
-        "--timestamp", default="",
-        help="ISO timestamp recorded in the history entry (the caller "
-        "supplies it; the benchmark never reads the clock for metadata)",
-    )
-    parser.add_argument(
-        "--assert-speedup", type=float, metavar="X",
-        help="exit nonzero unless parallel speedup >= X",
-    )
-    parser.add_argument(
-        "--checkpoint-overhead", action="store_true",
-        help="also measure a serial run with episode checkpointing "
-        "(fsync'd journal) and report its overhead vs. the plain run",
-    )
-    parser.add_argument(
-        "--obs-overhead", action="store_true",
-        help="also measure observability: a serial run with metrics + "
-        "tracing enabled, a second disabled sample, and the no-op "
-        "dispatch micro-benchmark",
-    )
-    parser.add_argument(
-        "--assert-obs-overhead", type=float, metavar="X",
-        help="with --obs-overhead: exit nonzero unless the obs-enabled "
-        "run is within ratio X of the plain serial run",
-    )
-    parser.add_argument(
-        "--assert-obs-disabled-overhead", type=float, metavar="X",
-        help="with --obs-overhead: exit nonzero unless a second "
-        "obs-disabled sample stays within ratio X of the plain serial "
-        "run (the guard that the no-op dispatch path costs ~nothing)",
-    )
-    parser.add_argument(
-        "--as-child", action="store_true", help=argparse.SUPPRESS
-    )
-    parser.add_argument(
-        "--checkpoint-dir", default="", help=argparse.SUPPRESS
-    )
-    parser.add_argument(
-        "--obs", action="store_true", help=argparse.SUPPRESS
-    )
-    args = parser.parse_args(argv)
-    if args.as_child:
-        return _child(args)
+    if str(REPO_SRC) not in sys.path:
+        sys.path.insert(0, str(REPO_SRC))
+    from repro.core.deprecation import warn_deprecated
 
-    sys.path.insert(0, str(REPO_SRC))
-    from repro.exec.pool import available_parallelism
+    warn_deprecated(
+        "benchmarks/bench_campaign.py is deprecated; run `tdat bench` "
+        "(repro.tools.bench) instead"
+    )
+    from repro.tools.bench import main as bench_main
 
-    print(f"serial run: {args.campaign}, {args.transfers} transfers ...")
-    serial = _measure(args, workers=1)
-    print(f"  {serial['wall_s']:.1f}s, {serial['records']} records")
-    print(f"parallel run: workers={args.workers} ...")
-    parallel = _measure(args, workers=args.workers)
-    print(f"  {parallel['wall_s']:.1f}s, {parallel['records']} records")
-
-    identical = serial["digest"] == parallel["digest"]
-    speedup = serial["wall_s"] / parallel["wall_s"]
-    summary = {
-        "benchmark": "campaign",
-        "git_sha": _git_sha(),
-        "timestamp": args.timestamp or "unknown",
-        "campaign": args.campaign,
-        "seed": args.seed,
-        "transfers": args.transfers,
-        "workers": args.workers,
-        "cpus": available_parallelism(),
-        "serial": {
-            "wall_s": round(serial["wall_s"], 3),
-            "transfers_per_s": round(serial["records"] / serial["wall_s"], 4),
-            "peak_rss_kb": serial["peak_rss_kb"],
-        },
-        "parallel": {
-            "wall_s": round(parallel["wall_s"], 3),
-            "transfers_per_s": round(
-                parallel["records"] / parallel["wall_s"], 4
-            ),
-            "peak_rss_kb": parallel["peak_rss_kb"],
-        },
-        "speedup": round(speedup, 3),
-        "identical": identical,
-    }
-
-    if args.checkpoint_overhead:
-        import tempfile
-
-        with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as ckpt:
-            print("checkpointed serial run (fsync'd journal) ...")
-            journaled = _measure(args, workers=1, checkpoint_dir=ckpt)
-        print(f"  {journaled['wall_s']:.1f}s, {journaled['records']} records")
-        summary["checkpointed"] = {
-            "wall_s": round(journaled["wall_s"], 3),
-            "peak_rss_kb": journaled["peak_rss_kb"],
-            "identical_to_serial": journaled["digest"] == serial["digest"],
-            # >1.0 means the journal costs time; the interesting number
-            # for deciding whether to checkpoint long campaigns.
-            "overhead_ratio": round(
-                journaled["wall_s"] / serial["wall_s"], 3
-            ),
-        }
-
-    if args.obs_overhead:
-        print("obs-enabled serial run (metrics + tracing) ...")
-        enabled = _measure(args, workers=1, obs=True)
-        print(f"  {enabled['wall_s']:.1f}s, {enabled['records']} records")
-        # Two samples, best-of: the disabled path is identical code to
-        # the serial baseline, so any measured "overhead" is run-to-run
-        # noise — one extra sample keeps the guard from flaking on a
-        # single slow scheduler quantum.
-        print("obs-disabled serial runs (no-op samples) ...")
-        disabled_samples = [_measure(args, workers=1) for _ in range(2)]
-        disabled_wall = min(s["wall_s"] for s in disabled_samples)
-        for sample in disabled_samples:
-            print(f"  {sample['wall_s']:.1f}s, {sample['records']} records")
-        summary["obs"] = {
-            "enabled_wall_s": round(enabled["wall_s"], 3),
-            "disabled_wall_s": round(disabled_wall, 3),
-            "identical_to_serial": enabled["digest"] == serial["digest"]
-            and all(
-                s["digest"] == serial["digest"] for s in disabled_samples
-            ),
-            # >1.0 means turning observability on costs time.
-            "enabled_overhead_ratio": round(
-                enabled["wall_s"] / serial["wall_s"], 3
-            ),
-            # The guard that the always-compiled-in no-op dispatch path
-            # costs ~nothing.
-            "disabled_overhead_ratio": round(
-                disabled_wall / serial["wall_s"], 3
-            ),
-            "noop_dispatch_ns": round(_noop_dispatch_ns(), 1),
-        }
-
-    _append_history(Path(args.out), summary)
-    print(json.dumps(summary, indent=2))
-    print(f"summary appended -> {args.out}")
-
-    if not identical:
-        print("FAIL: parallel report differs from serial", file=sys.stderr)
-        return 1
-    if args.checkpoint_overhead and not summary["checkpointed"][
-        "identical_to_serial"
-    ]:
-        print(
-            "FAIL: checkpointed report differs from plain serial",
-            file=sys.stderr,
-        )
-        return 1
-    if args.assert_speedup is not None and speedup < args.assert_speedup:
-        print(
-            f"FAIL: speedup {speedup:.2f} < required "
-            f"{args.assert_speedup:.2f} (cpus={summary['cpus']})",
-            file=sys.stderr,
-        )
-        return 1
-    if args.obs_overhead:
-        if not summary["obs"]["identical_to_serial"]:
-            print(
-                "FAIL: observability changed the campaign report",
-                file=sys.stderr,
-            )
-            return 1
-        if (
-            args.assert_obs_overhead is not None
-            and summary["obs"]["enabled_overhead_ratio"]
-            > args.assert_obs_overhead
-        ):
-            print(
-                f"FAIL: obs-enabled overhead "
-                f"{summary['obs']['enabled_overhead_ratio']:.3f} > allowed "
-                f"{args.assert_obs_overhead:.3f}",
-                file=sys.stderr,
-            )
-            return 1
-        if (
-            args.assert_obs_disabled_overhead is not None
-            and summary["obs"]["disabled_overhead_ratio"]
-            > args.assert_obs_disabled_overhead
-        ):
-            print(
-                f"FAIL: obs-disabled overhead "
-                f"{summary['obs']['disabled_overhead_ratio']:.3f} > allowed "
-                f"{args.assert_obs_disabled_overhead:.3f}",
-                file=sys.stderr,
-            )
-            return 1
-    return 0
+    return bench_main(argv)
 
 
 if __name__ == "__main__":

@@ -377,23 +377,31 @@ class Trace:
         source: BinaryIO | str | Path | list[PcapRecord],
         health: TraceHealth | None = None,
         tolerant: bool = False,
+        *,
+        mmap: bool | None = None,
+        decode_batch: int | None = None,
     ) -> "Trace":
         """Parse a pcap file (or pre-read records) into connections.
 
         With ``tolerant=True`` the pcap layer survives structural
         damage (see :class:`~repro.wire.pcap.PcapReader`); either way,
         undecodable frames are skipped and accounted in ``health``.
+        ``mmap`` and ``decode_batch`` tune the reader's zero-copy fast
+        path (result-identical; see :class:`~repro.wire.pcap.PcapReader`).
         """
         trace = cls(health=health)
         if isinstance(source, list):
             records = source
             trace.health.records_read += len(records)
         else:
-            records = read_pcap(source, tolerant=tolerant, health=trace.health)
+            records = read_pcap(
+                source, tolerant=tolerant, health=trace.health,
+                mmap=mmap, decode_batch=decode_batch,
+            )
         for index, record in enumerate(records):
             trace.total_records += 1
             try:
-                parsed = frames.parse_frame(record.data)
+                fields = frames.parse_packet(record.data)
             except (frames.FrameError, ValueError) as exc:
                 trace.skipped_frames += 1
                 trace.health.record(
@@ -405,12 +413,12 @@ class Trace:
                 )
                 continue
             trace.health.frames_decoded += 1
-            packet = _packet_from_record(index, record, parsed)
+            packet = _packet_from_fields(index, record, fields)
             key = canonical_key(
-                parsed.ipv4.src,
-                parsed.tcp.src_port,
-                parsed.ipv4.dst,
-                parsed.tcp.dst_port,
+                fields.src_ip,
+                fields.src_port,
+                fields.dst_ip,
+                fields.dst_port,
             )
             connection = trace.connections.get(key)
             if connection is None:
@@ -452,6 +460,31 @@ def _packet_from_record(
     )
 
 
+def _packet_from_fields(
+    index: int, record: PcapRecord, fields: frames.PacketFields
+) -> TracePacket:
+    """Flatten one fused-decoded frame into the analyzer's packet form."""
+    payload = fields.payload
+    return TracePacket(
+        index=index,
+        timestamp_us=record.timestamp_us,
+        src_ip=fields.src_ip,
+        src_port=fields.src_port,
+        dst_ip=fields.dst_ip,
+        dst_port=fields.dst_port,
+        seq=fields.seq,
+        ack=fields.ack,
+        flags=fields.flags,
+        window=fields.window,
+        payload_len=len(payload),
+        wire_len=record.wire_length,
+        ip_id=fields.ip_id,
+        payload=payload,
+        mss_option=fields.mss_option,
+        wscale_option=fields.wscale_option,
+    )
+
+
 @dataclass
 class _OpenFlow:
     """Streaming-ingest state of one not-yet-finalized connection."""
@@ -482,6 +515,9 @@ def iter_connections(
     health: TraceHealth | None = None,
     tolerant: bool = False,
     linger_us: int = DEFAULT_LINGER_US,
+    *,
+    mmap: bool | None = None,
+    decode_batch: int | None = None,
 ) -> Iterator[Connection]:
     """Stream finalized connections out of a capture, flow by flow.
 
@@ -501,7 +537,10 @@ def iter_connections(
         records: Iterator[PcapRecord] = iter(source)
         reader_counts = False
     else:
-        reader = PcapReader(source, tolerant=tolerant, health=health)
+        reader = PcapReader(
+            source, tolerant=tolerant, health=health,
+            mmap=mmap, decode_batch=decode_batch,
+        )
         records = iter(reader)
         reader_counts = True
     open_flows: dict[FlowKey, _OpenFlow] = {}
@@ -511,7 +550,7 @@ def iter_connections(
             if not reader_counts:
                 health.records_read += 1
             try:
-                parsed = frames.parse_frame(record.data)
+                fields = frames.parse_packet(record.data)
             except (frames.FrameError, ValueError) as exc:
                 health.record(
                     STAGE_FRAME, "undecodable-frame",
@@ -523,10 +562,10 @@ def iter_connections(
                 continue
             health.frames_decoded += 1
             key = canonical_key(
-                parsed.ipv4.src,
-                parsed.tcp.src_port,
-                parsed.ipv4.dst,
-                parsed.tcp.dst_port,
+                fields.src_ip,
+                fields.src_port,
+                fields.dst_ip,
+                fields.dst_port,
             )
             # Sweep flows whose close has lingered long enough.
             now = record.timestamp_us
@@ -545,12 +584,12 @@ def iter_connections(
                 health.record(
                     STAGE_FRAME, "packet-after-close",
                     timestamp_us=record.timestamp_us,
-                    bytes_lost=len(parsed.tcp.payload),
+                    bytes_lost=len(fields.payload),
                     detail=f"{key}: flow already finalized and emitted",
                     benign=True,
                 )
                 continue
-            packet = _packet_from_record(index, record, parsed)
+            packet = _packet_from_fields(index, record, fields)
             flow = open_flows.get(key)
             if flow is None:
                 flow = _OpenFlow(connection=Connection(key))

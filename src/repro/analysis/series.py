@@ -79,6 +79,10 @@ SERIES_NAMES = [
 ]
 
 
+#: accepted values of :attr:`SeriesConfig.series_backend`.
+SERIES_BACKENDS = ("auto", "python", "numpy")
+
+
 @dataclass
 class SeriesConfig:
     """Tunables of the series generator (paper defaults)."""
@@ -92,6 +96,40 @@ class SeriesConfig:
     bandwidth_slack: float = 1.3
     # Minimum packets of sustained bottleneck spacing.
     bandwidth_min_packets: int = 5
+    # Accumulation backend for the Outstanding kernel: "python" is the
+    # reference event walk, "numpy" the vectorized equivalent (errors
+    # when numpy is absent), "auto" picks numpy only for connections
+    # large enough to amortize the array round-trip.  All three produce
+    # byte-identical series.
+    series_backend: str = "auto"
+
+
+#: below this many events per connection "auto" keeps the pure-python
+#: walk: the list<->array round-trip costs more than the loop it
+#: replaces (and the decision is made before numpy is even imported,
+#: so small-connection analyses never pay the import either).
+AUTO_MIN_EVENTS = 4096
+
+
+def _resolve_backend(name: str, n_events: int):
+    """The series_np module to use, or None for the pure-python walk."""
+    if name not in SERIES_BACKENDS:
+        raise ValueError(
+            f"unknown series_backend {name!r}; expected one of {SERIES_BACKENDS}"
+        )
+    if name == "python":
+        return None
+    if name == "auto" and n_events < AUTO_MIN_EVENTS:
+        return None
+    from repro.analysis import series_np
+
+    if not series_np.AVAILABLE:
+        if name == "numpy":
+            raise ValueError(
+                "series_backend='numpy' requested but numpy is not installed"
+            )
+        return None
+    return series_np
 
 
 class StepFunction:
@@ -120,16 +158,33 @@ class StepFunction:
         return self._values[idx]
 
     def ranges_where(self, predicate, start_us: int, end_us: int) -> TimeRangeSet:
-        """Intervals within [start, end) where ``predicate(value)`` holds."""
+        """Intervals within [start, end) where ``predicate(value)`` holds.
+
+        One linear walk over the samples — a true run opens where the
+        predicate starts holding and closes where it stops, which is
+        exactly the coalescing the per-interval span adds used to do.
+        """
         result = TimeRangeSet()
         if end_us <= start_us:
             return result
-        points = [start_us] + [
-            t for t in self._times if start_us < t < end_us
-        ] + [end_us]
-        for left, right in zip(points, points[1:]):
-            if predicate(self.value_at(left)):
-                result.add_span(left, right)
+        times = self._times
+        values = self._values
+        i = bisect.bisect_right(times, start_us)
+        current = self.initial if i == 0 else values[i - 1]
+        run_start = start_us if predicate(current) else None
+        for i in range(i, len(times)):
+            t = times[i]
+            if t >= end_us:
+                break
+            holds = predicate(values[i])
+            if run_start is None:
+                if holds:
+                    run_start = t
+            elif not holds:
+                result.add_span(run_start, t)
+                run_start = None
+        if run_start is not None:
+            result.add_span(run_start, end_us)
         return result
 
     def samples(self) -> list[tuple[int, int]]:
@@ -186,6 +241,8 @@ def generate_series(
     # ------------------------------------------------------------- #
     # Extraction                                                      #
     # ------------------------------------------------------------- #
+    backend = _resolve_backend(config.series_backend, len(data) + len(acks))
+
     transmission = TimeRangeSet()
     for packet in data:
         ser = max(1, round(packet.wire_len * byte_time))
@@ -200,7 +257,12 @@ def generate_series(
     catalog.put(EventSeries("Transmission", transmission,
                             "time actually spent clocking data onto the wire"))
 
-    outstanding_fn, outstanding_set = _outstanding(connection, data, acks)
+    if backend is not None:
+        outstanding_fn, outstanding_set = backend.outstanding(
+            connection, data, acks
+        )
+    else:
+        outstanding_fn, outstanding_set = _outstanding(connection, data, acks)
     catalog.put(EventSeries("Outstanding", outstanding_set,
                             "periods with unacknowledged data in flight"))
 
@@ -461,23 +523,61 @@ def _bounded_ranges(
     start_us: int,
     end_us: int,
 ) -> tuple[TimeRangeSet, TimeRangeSet]:
-    """(busy, advertised-window-bounded) ranges from the step functions."""
+    """(busy, advertised-window-bounded) ranges from the step functions.
+
+    A two-pointer merge over both step functions' boundaries; run
+    open/close bookkeeping reproduces the coalescing that per-interval
+    span adds over the sorted boundary union used to do.
+    """
     busy = TimeRangeSet()
     adv_bound = TimeRangeSet()
     if end_us <= start_us:
         return busy, adv_bound
-    times = sorted(
-        {start_us, end_us}
-        | {t for t, _ in out_fn.samples() if start_us < t < end_us}
-        | {t for t, _ in adv_fn.samples() if start_us < t < end_us}
-    )
-    for left, right in zip(times, times[1:]):
-        outstanding = out_fn.value_at(left)
-        if outstanding <= 0:
-            continue
-        busy.add_span(left, right)
-        if adv_fn.value_at(left) - outstanding < small_limit:
-            adv_bound.add_span(left, right)
+    out_times, out_values = out_fn._times, out_fn._values
+    adv_times, adv_values = adv_fn._times, adv_fn._values
+    len_out, len_adv = len(out_times), len(adv_times)
+    i = bisect.bisect_right(out_times, start_us)
+    j = bisect.bisect_right(adv_times, start_us)
+    out_v = out_fn.initial if i == 0 else out_values[i - 1]
+    adv_v = adv_fn.initial if j == 0 else adv_values[j - 1]
+    left = start_us
+    busy_start: int | None = None
+    adv_start: int | None = None
+    while left < end_us:
+        right = end_us
+        if i < len_out and out_times[i] < right:
+            right = out_times[i]
+        if j < len_adv and adv_times[j] < right:
+            right = adv_times[j]
+        if out_v > 0:
+            if busy_start is None:
+                busy_start = left
+            if adv_v - out_v < small_limit:
+                if adv_start is None:
+                    adv_start = left
+            elif adv_start is not None:
+                adv_bound.add_span(adv_start, left)
+                adv_start = None
+        else:
+            if busy_start is not None:
+                busy.add_span(busy_start, left)
+                busy_start = None
+            if adv_start is not None:
+                adv_bound.add_span(adv_start, left)
+                adv_start = None
+        if right == end_us:
+            break
+        while i < len_out and out_times[i] == right:
+            out_v = out_values[i]
+            i += 1
+        while j < len_adv and adv_times[j] == right:
+            adv_v = adv_values[j]
+            j += 1
+        left = right
+    if busy_start is not None:
+        busy.add_span(busy_start, end_us)
+    if adv_start is not None:
+        adv_bound.add_span(adv_start, end_us)
     return busy, adv_bound
 
 

@@ -177,6 +177,9 @@ def analyze_pcap(
     workers: int = 1,
     streaming: bool = False,
     pool: WorkPool | None = None,
+    mmap: bool | None = None,
+    decode_batch: int | None = None,
+    series_backend: str | None = None,
 ) -> TdatReport:
     """Analyze every TCP connection in a capture.
 
@@ -204,9 +207,23 @@ def analyze_pcap(
       pipeline runs of a multi-connection capture out across worker
       processes.  Analyses come back in the same order the serial path
       produces, so reports are identical.
+
+    Three performance knobs, also result-preserving (every fast path is
+    byte-identical to its reference and falls back automatically):
+
+    * ``mmap`` — zero-copy batched pcap scanning (``None`` = auto:
+      used when the source supports it and the pre-scan finds no
+      damage; ``False`` forces the streaming reader);
+    * ``decode_batch`` — records decoded per fast-path batch;
+    * ``series_backend`` — ``"auto"`` | ``"python"`` | ``"numpy"``
+      kernel selection for series generation (ignored when an explicit
+      ``config`` is given; set it on the config instead).
     """
     if config is None:
-        config = SeriesConfig(sniffer_location=sniffer_location)
+        config = SeriesConfig(
+            sniffer_location=sniffer_location,
+            series_backend=series_backend or "auto",
+        )
     if health is None:
         health = TraceHealth(strict=strict)
     report = TdatReport(health=health)
@@ -218,6 +235,7 @@ def analyze_pcap(
         for analysis in _analyze_stream(
             source, report, windows=windows, config=config,
             min_data_packets=min_data_packets, strict=strict, health=health,
+            mmap=mmap, decode_batch=decode_batch,
         ):
             report.analyses[analysis.key] = analysis
         _restore_capture_order(report)
@@ -226,9 +244,15 @@ def analyze_pcap(
     if streaming:
         # Parallel + streaming: ingest incrementally (bounded by open
         # flows), then batch the eligible connections through the pool.
-        connections = iter_connections(source, health=health, tolerant=not strict)
+        connections = iter_connections(
+            source, health=health, tolerant=not strict,
+            mmap=mmap, decode_batch=decode_batch,
+        )
     else:
-        connections = iter(Trace.from_pcap(source, health=health, tolerant=not strict))
+        connections = iter(Trace.from_pcap(
+            source, health=health, tolerant=not strict,
+            mmap=mmap, decode_batch=decode_batch,
+        ))
 
     eligible: list[tuple[Connection, tuple[int, int] | None]] = []
     for connection in connections:
@@ -297,10 +321,13 @@ def _analyze_stream(
     min_data_packets: int,
     strict: bool,
     health: TraceHealth,
+    mmap: bool | None = None,
+    decode_batch: int | None = None,
 ):
     """Yield analyses one flow at a time, updating ``report`` counters."""
     for connection in iter_connections(
-        source, health=health, tolerant=not strict
+        source, health=health, tolerant=not strict,
+        mmap=mmap, decode_batch=decode_batch,
     ):
         if connection.profile is None or (
             connection.profile.total_data_packets < min_data_packets
@@ -327,6 +354,9 @@ def iter_analyze_pcap(
     min_data_packets: int = 2,
     strict: bool = False,
     health: TraceHealth | None = None,
+    mmap: bool | None = None,
+    decode_batch: int | None = None,
+    series_backend: str | None = None,
 ):
     """The incremental form of :func:`analyze_pcap`.
 
@@ -334,14 +364,20 @@ def iter_analyze_pcap(
     flow closes, in close order.  The caller owns each analysis as it
     arrives and may discard it, so a capture of thousands of sequential
     transfers can be analyzed in bounded memory — the use case behind
-    the paper's multi-week monitoring traces.
+    the paper's multi-week monitoring traces.  The performance knobs
+    (``mmap``, ``decode_batch``, ``series_backend``) behave exactly as
+    in :func:`analyze_pcap`.
     """
     if config is None:
-        config = SeriesConfig(sniffer_location=sniffer_location)
+        config = SeriesConfig(
+            sniffer_location=sniffer_location,
+            series_backend=series_backend or "auto",
+        )
     if health is None:
         health = TraceHealth(strict=strict)
     throwaway = TdatReport(health=health)
     yield from _analyze_stream(
         source, throwaway, windows=windows, config=config,
         min_data_packets=min_data_packets, strict=strict, health=health,
+        mmap=mmap, decode_batch=decode_batch,
     )

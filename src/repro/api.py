@@ -33,7 +33,11 @@ from pathlib import Path
 from typing import Any, BinaryIO, Iterator
 
 from repro.analysis.profile import FlowKey
-from repro.analysis.series import SNIFFER_AT_RECEIVER, SeriesConfig
+from repro.analysis.series import (
+    SERIES_BACKENDS,
+    SNIFFER_AT_RECEIVER,
+    SeriesConfig,
+)
 from repro.analysis.tdat import (
     ConnectionAnalysis,
     TdatReport,
@@ -54,7 +58,14 @@ from repro.workloads.campaign import (
 
 @dataclass
 class AnalysisRequest:
-    """One capture to analyze, plus the knobs that shape the run."""
+    """One capture to analyze, plus the knobs that shape the run.
+
+    The performance knobs (``mmap``, ``decode_batch``,
+    ``series_backend``) select result-identical fast paths — every one
+    is differentially tested against its pure-python reference and
+    falls back automatically when its preconditions fail.  ``None``
+    inherits the :class:`Pipeline` default.
+    """
 
     source: BinaryIO | str | Path | list[PcapRecord]
     sniffer_location: str = SNIFFER_AT_RECEIVER
@@ -64,6 +75,9 @@ class AnalysisRequest:
     strict: bool | None = None  # None → inherit from the Pipeline
     streaming: bool | None = None
     workers: int | None = None
+    mmap: bool | None = None
+    decode_batch: int | None = None
+    series_backend: str | None = None  # one of SERIES_BACKENDS
 
 
 @dataclass
@@ -131,11 +145,22 @@ class Pipeline:
     ``result.metrics``, and ``pipeline.obs.tracer`` holds the spans.
     Left at ``None`` (the default), every instrumentation point in the
     engine dispatches through the shared no-op context.
+
+    The performance knobs — ``mmap`` (zero-copy pcap scanning),
+    ``decode_batch`` (fast-path decode granularity) and
+    ``series_backend`` (``"auto"`` | ``"python"`` | ``"numpy"`` series
+    kernels) — set the default for every analysis run through this
+    pipeline; an :class:`AnalysisRequest` can override each per run.
+    All of them are result-preserving: the fast paths are
+    byte-identical to their references and degrade automatically.
     """
 
     workers: int = 1
     strict: bool = False
     streaming: bool = False
+    mmap: bool | None = None
+    decode_batch: int | None = None
+    series_backend: str = "auto"
     seed: int | None = None
     task_timeout: float | None = None
     max_retries: int = 0
@@ -189,6 +214,11 @@ class Pipeline:
             config=request.config,
             min_data_packets=request.min_data_packets,
             strict=self._knob(request.strict, self.strict),
+            mmap=self._knob(request.mmap, self.mmap),
+            decode_batch=self._knob(request.decode_batch, self.decode_batch),
+            series_backend=self._knob(
+                request.series_backend, self.series_backend
+            ),
         )
 
     def extract_bgp(
@@ -241,6 +271,13 @@ class Pipeline:
                     strict=self._knob(request.strict, self.strict),
                     streaming=self._knob(request.streaming, self.streaming),
                     pool=self.pool if workers == self.workers else self._make_pool(workers),
+                    mmap=self._knob(request.mmap, self.mmap),
+                    decode_batch=self._knob(
+                        request.decode_batch, self.decode_batch
+                    ),
+                    series_backend=self._knob(
+                        request.series_backend, self.series_backend
+                    ),
                 )
             if isinstance(request, CampaignRequest):
                 if request.seed is None and self.seed is not None:
@@ -270,4 +307,6 @@ __all__ = [
     "TdatReport",
     "CampaignResult",
     "TraceHealth",
+    "SERIES_BACKENDS",
+    "SeriesConfig",
 ]

@@ -95,12 +95,26 @@ class TimeRangeSet:
     that the paper highlights as essential for drill-down inspection.
     """
 
-    __slots__ = ("_ranges",)
+    __slots__ = ("_ranges", "_starts")
 
     def __init__(self, ranges: Iterable[TimeRange | tuple] = ()) -> None:
         self._ranges: list[TimeRange] = []
+        self._starts: list[int] = []
         for item in ranges:
             self.add(_coerce(item))
+
+    @classmethod
+    def _from_sorted(cls, ranges: list[TimeRange]) -> "TimeRangeSet":
+        """Adopt a list already satisfying the class invariants.
+
+        Callers must guarantee the ranges are sorted, non-empty and
+        pairwise non-touching — the outputs of the merge-walk algebra
+        below qualify; arbitrary input does not.
+        """
+        self = cls.__new__(cls)
+        self._ranges = ranges
+        self._starts = [r.start for r in ranges]
+        return self
 
     # ------------------------------------------------------------------
     # Construction and mutation
@@ -108,26 +122,50 @@ class TimeRangeSet:
     def add(self, item: TimeRange | tuple) -> None:
         """Insert a range, coalescing with any overlapping/adjacent ones."""
         rng = _coerce(item)
-        if rng.is_empty():
+        if rng.end == rng.start:
             return
-        starts = [r.start for r in self._ranges]
-        idx = bisect.bisect_left(starts, rng.start)
+        ranges = self._ranges
+        if ranges:
+            last = ranges[-1]
+            if rng.start > last.end:
+                # Strictly after everything stored: plain append.
+                ranges.append(rng)
+                self._starts.append(rng.start)
+                return
+            if rng.start >= last.start:
+                # Touches or overlaps only the final stored range.
+                merged_data = _data_list(rng.data)
+                merged_data.extend(_data_list(last.data))
+                merged = TimeRange(
+                    last.start if last.start < rng.start else rng.start,
+                    last.end if last.end > rng.end else rng.end,
+                    _data_value(merged_data),
+                )
+                ranges[-1] = merged
+                self._starts[-1] = merged.start
+                return
+        else:
+            ranges.append(rng)
+            self._starts.append(rng.start)
+            return
+        idx = bisect.bisect_left(self._starts, rng.start)
         # A predecessor may touch/overlap the new range.
-        if idx > 0 and self._ranges[idx - 1].end >= rng.start:
+        if idx > 0 and ranges[idx - 1].end >= rng.start:
             idx -= 1
         merged_start, merged_end = rng.start, rng.end
         merged_data = _data_list(rng.data)
         remove_to = idx
-        while remove_to < len(self._ranges) and (
-            self._ranges[remove_to].start <= merged_end
+        while remove_to < len(ranges) and (
+            ranges[remove_to].start <= merged_end
         ):
-            existing = self._ranges[remove_to]
+            existing = ranges[remove_to]
             merged_start = min(merged_start, existing.start)
             merged_end = max(merged_end, existing.end)
             merged_data.extend(_data_list(existing.data))
             remove_to += 1
         merged = TimeRange(merged_start, merged_end, _data_value(merged_data))
-        self._ranges[idx:remove_to] = [merged]
+        ranges[idx:remove_to] = [merged]
+        self._starts[idx:remove_to] = [merged.start]
 
     def add_span(self, start: int, end: int, data: Any = None) -> None:
         """Convenience: insert ``[start, end)`` with optional payload."""
@@ -140,6 +178,7 @@ class TimeRangeSet:
         self._ranges = list(
             self._difference_ranges([TimeRange(start, end)])
         )
+        self._starts = [r.start for r in self._ranges]
 
     # ------------------------------------------------------------------
     # Inspection
@@ -187,8 +226,7 @@ class TimeRangeSet:
 
     def range_at(self, instant: int) -> TimeRange | None:
         """The stored range covering ``instant``, or None."""
-        starts = [r.start for r in self._ranges]
-        idx = bisect.bisect_right(starts, instant) - 1
+        idx = bisect.bisect_right(self._starts, instant) - 1
         if idx >= 0 and self._ranges[idx].contains(instant):
             return self._ranges[idx]
         return None
@@ -225,14 +263,18 @@ class TimeRangeSet:
 
     def intersection(self, *others: "TimeRangeSet") -> "TimeRangeSet":
         """The set intersection of this series with ``others``."""
-        current = list(self._ranges)
+        current = self._ranges
         for other in others:
-            current = list(_intersect_sorted(current, list(other)))
-        return TimeRangeSet(current)
+            current = list(_intersect_sorted(current, other._ranges))
+        if current is self._ranges:
+            current = list(current)
+        return TimeRangeSet._from_sorted(current)
 
     def difference(self, other: "TimeRangeSet") -> "TimeRangeSet":
         """Ranges of this series with ``other``'s coverage removed."""
-        return TimeRangeSet(self._difference_ranges(list(other)))
+        return TimeRangeSet._from_sorted(
+            list(self._difference_ranges(other._ranges))
+        )
 
     def complement(self, within: TimeRange | tuple) -> "TimeRangeSet":
         """The uncovered portion of ``within``.

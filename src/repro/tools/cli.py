@@ -1,19 +1,22 @@
-"""Legacy console-script entry points, now shims over ``tdat``.
+"""Legacy console-script entry points, now deprecated shims over ``tdat``.
 
 The tool suite consolidated into one ``tdat`` command with subcommands
 (:mod:`repro.tools.tdat_cli`).  The historical script names —
 ``pcap2bgp``, ``tcptrace-lite``, ``bgplot``, ``pcap-anonymize`` and the
 subcommand-less ``tdat <trace.pcap>`` — keep working through these
-wrappers, which simply prepend the matching subcommand and delegate.
-Error discipline and exit codes are unchanged: one-line errors on
-stderr, 0 success, 1 nothing to analyze, 2 error, 3 success with
-recorded ingest issues.
+wrappers, which raise a :class:`DeprecationWarning` at call time
+(importing this module stays silent), then prepend the matching
+subcommand and delegate.  Error discipline and exit codes are
+unchanged: one-line errors on stderr, 0 success, 1 nothing to analyze,
+2 error, 3 success with recorded ingest issues.  Removal schedule:
+see the deprecation table in ``docs/architecture.md``.
 """
 
 from __future__ import annotations
 
 import sys
 
+from repro.core.deprecation import warn_deprecated
 from repro.tools.tdat_cli import (
     EXIT_ERROR,
     EXIT_ISSUES,
@@ -37,7 +40,11 @@ __all__ = [
 ]
 
 
-def _delegate(subcommand: str, argv: list[str] | None) -> int:
+def _delegate(legacy: str, subcommand: str, argv: list[str] | None) -> int:
+    warn_deprecated(
+        f"the {legacy!r} console script is deprecated; "
+        f"run `tdat {subcommand}` instead"
+    )
     if argv is None:
         argv = sys.argv[1:]
     return main([subcommand, *argv])
@@ -45,6 +52,10 @@ def _delegate(subcommand: str, argv: list[str] | None) -> int:
 
 def tdat_main(argv: list[str] | None = None) -> int:
     """Analyze a pcap trace and print the delay report."""
+    warn_deprecated(
+        "repro.tools.cli.tdat_main is deprecated; "
+        "use repro.tools.tdat_cli.main (the `tdat` console script)"
+    )
     # No subcommand prefix: ``main`` maps a bare trace to ``analyze``
     # itself, and flags like ``--help`` should hit the top-level parser.
     return main(argv)
@@ -52,19 +63,19 @@ def tdat_main(argv: list[str] | None = None) -> int:
 
 def pcap2bgp_main(argv: list[str] | None = None) -> int:
     """Reconstruct BGP messages from a pcap trace into an MRT file."""
-    return _delegate("pcap2bgp", argv)
+    return _delegate("pcap2bgp", "pcap2bgp", argv)
 
 
 def tcptrace_main(argv: list[str] | None = None) -> int:
     """Print per-connection summaries of a pcap trace."""
-    return _delegate("tcptrace", argv)
+    return _delegate("tcptrace-lite", "tcptrace", argv)
 
 
 def anonymize_main(argv: list[str] | None = None) -> int:
     """Prefix-preservingly anonymize a pcap for sharing."""
-    return _delegate("anonymize", argv)
+    return _delegate("pcap-anonymize", "anonymize", argv)
 
 
 def bgplot_main(argv: list[str] | None = None) -> int:
     """Render event-series panels (or CSV) for a pcap trace."""
-    return _delegate("bgplot", argv)
+    return _delegate("bgplot", "bgplot", argv)

@@ -8,6 +8,9 @@ one parser, one error discipline and one exit-code contract:
   ``tdat`` invocation; a bare ``tdat <trace.pcap>`` still works);
 * ``tdat campaign <name>`` — run a measurement campaign;
 * ``tdat report`` — run campaigns and render the survey tables;
+* ``tdat bench`` — performance benchmarks (campaign scaling, per-stage
+  ingest throughput, observability/checkpoint overhead) with an
+  append-only run history and regression gates;
 * ``tdat fuzz`` — fault-injection harness over the ingest pipeline;
 * ``tdat chaos`` — seeded chaos sweep over the execution stack
   (checkpoint journal, work pool, graceful drain);
@@ -53,6 +56,10 @@ from repro.lint.cli import (
     run_with_args as _run_lint,
 )
 from repro.tools import bgplot, pcap2bgp, tcptrace_lite
+from repro.tools.bench import (
+    configure_parser as _configure_bench_parser,
+    run_with_args as _run_bench,
+)
 from repro.tools.report import duration_statistics, render_markdown
 from repro.wire.pcap import PcapError
 from repro.workloads.campaign import CAMPAIGNS
@@ -65,6 +72,7 @@ EXIT_NOTHING = 1
 EXIT_ERROR = 2
 EXIT_ISSUES = 3
 EXIT_INTERRUPTED = 4
+EXIT_REGRESSION = 5
 
 #: the one exit-code contract every subcommand shares; rendered
 #: verbatim into ``--help`` so the table cannot drift from the code.
@@ -74,11 +82,13 @@ exit codes:
   1  nothing to analyze (no connections / no transfers)
   2  error (unreadable input, bad arguments, damaged beyond salvage)
   3  success, but tolerant ingest recorded non-benign issues
-  4  interrupted; completed episodes checkpointed, re-run with --resume\
+  4  interrupted; completed episodes checkpointed, re-run with --resume
+  5  benchmark gate failed (tdat bench: speedup, overhead or regression)\
 """
 
 SUBCOMMANDS = (
     "analyze",
+    "bench",
     "campaign",
     "chaos",
     "fuzz",
@@ -249,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _execution_options(p)
     p.set_defaults(handler=_cmd_campaign)
+
+    p = add_parser(
+        "bench",
+        help="performance benchmarks with run history + regression gates",
+    )
+    _configure_bench_parser(p)
+    p.set_defaults(handler=_cmd_bench)
 
     p = add_parser(
         "report", help="run campaigns and render the survey tables"
@@ -644,6 +661,12 @@ def _cmd_bgplot(args) -> int:
                 print(bgplot.render_time_sequence(analysis, width=args.width))
         print()
     return EXIT_OK
+
+
+def _cmd_bench(args) -> int:
+    # Returns EXIT_OK, EXIT_ERROR (a run failed or a fast path diverged
+    # from its reference) or EXIT_REGRESSION (a perf gate tripped).
+    return _run_bench(args)
 
 
 def _cmd_lint(args) -> int:

@@ -9,12 +9,35 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.wire import ethernet, ip, tcpw
 
 
 class FrameError(ValueError):
     """Raised when a captured frame is not an IPv4/TCP frame."""
+
+
+class PacketFields(NamedTuple):
+    """The analyzer-facing fields of one Ethernet/IPv4/TCP frame.
+
+    :func:`parse_packet` produces these without materializing the
+    intermediate per-layer dataclasses; the field values are identical
+    to what :func:`parse_frame` would expose through ``ParsedFrame``.
+    """
+
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    window: int
+    ip_id: int
+    payload: bytes
+    mss_option: int | None
+    wscale_option: int | None
 
 
 @dataclass(frozen=True)
@@ -97,3 +120,111 @@ def parse_frame(data: bytes, verify_checksums: bool = False) -> ParsedFrame:
     except (ValueError, IndexError, struct.error) as exc:
         raise FrameError(f"undecodable frame: {exc}") from exc
     return ParsedFrame(eth=eth, ipv4=ipv4, tcp=tcp)
+
+
+# TCP option blocks repeat across a capture (usually empty, an MSS on
+# the SYNs, the odd SACK); cache their parse keyed by the raw bytes.
+# Bounded: damaged captures could otherwise flood it with unique junk.
+_OPTIONS_CACHE: dict[bytes, tuple] = {}
+_OPTIONS_CACHE_LIMIT = 4096
+
+
+def parse_packet(data: bytes, verify_checksums: bool = False) -> PacketFields:
+    """Decode a frame straight to :class:`PacketFields`.
+
+    The fast path fuses the three layer decoders into one pass of
+    precompiled-struct reads over the common shape (Ethernet II +
+    20-byte IPv4 header + TCP); anything else — other ethertypes, IP
+    options, damage, checksum verification — falls back to
+    :func:`parse_frame`, so failures raise the exact same
+    :class:`FrameError` and exotic-but-valid frames decode through the
+    reference path.  For every frame the fast path accepts, the result
+    is field-identical to the fallback's.
+    """
+    if not verify_checksums:
+        fields = _parse_packet_fast(data)
+        if fields is not None:
+            return fields
+    parsed = parse_frame(data, verify_checksums=verify_checksums)
+    tcp = parsed.tcp
+    return PacketFields(
+        parsed.ipv4.src,
+        tcp.src_port,
+        parsed.ipv4.dst,
+        tcp.dst_port,
+        tcp.seq,
+        tcp.ack,
+        tcp.flags,
+        tcp.window,
+        parsed.ipv4.identification,
+        tcp.payload,
+        tcp.mss_option,
+        tcp.wscale_option,
+    )
+
+
+def _parse_packet_fast(data: bytes) -> PacketFields | None:
+    """One-pass decode of the common frame shape; None means fall back."""
+    n = len(data)
+    # 54 = Ethernet(14) + minimal IPv4(20) + minimal TCP(20).
+    if n < 54 or data[12] != 0x08 or data[13] != 0x00 or data[14] != 0x45:
+        return None
+    (
+        _version_ihl,
+        _tos,
+        total_length,
+        ip_id,
+        _flags_fragment,
+        _ttl,
+        protocol,
+        _ip_checksum,
+        src_raw,
+        dst_raw,
+    ) = ip._HEADER.unpack_from(data, 14)
+    if protocol != ip.PROTO_TCP:
+        return None
+    ip_end = 14 + total_length
+    if total_length < 40 or ip_end > n:
+        return None
+    (
+        src_port,
+        dst_port,
+        seq,
+        ack,
+        offset_field,
+        flags,
+        window,
+        _tcp_checksum_value,
+        _urgent,
+    ) = tcpw._HEADER.unpack_from(data, 34)
+    header_len = (offset_field >> 4) * 4
+    if header_len < tcpw.BASE_HEADER_LEN or header_len > total_length - 20:
+        return None
+    if header_len == tcpw.BASE_HEADER_LEN:
+        mss = wscale = None
+    else:
+        raw_options = data[54 : 34 + header_len]
+        options = _OPTIONS_CACHE.get(raw_options)
+        if options is None:
+            try:
+                options = tcpw._parse_options(raw_options)
+            except tcpw.TcpError:
+                return None
+            if len(_OPTIONS_CACHE) >= _OPTIONS_CACHE_LIMIT:
+                _OPTIONS_CACHE.clear()
+            _OPTIONS_CACHE[raw_options] = options
+        mss, wscale = options[0], options[1]
+    return PacketFields(
+        ip.bytes_to_ip(src_raw),
+        src_port,
+        ip.bytes_to_ip(dst_raw),
+        dst_port,
+        seq,
+        ack,
+        flags,
+        window,
+        ip_id,
+        data[34 + header_len : ip_end],
+        mss,
+        wscale,
+    )

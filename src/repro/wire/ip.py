@@ -34,17 +34,36 @@ def ip_to_bytes(ip: str) -> bytes:
     return bytes(octets)
 
 
+# Captures see the same handful of endpoints millions of times; cache
+# the rendered strings (bounded: cleared wholesale if damaged input
+# ever floods it with garbage addresses).
+_IP_STR_CACHE: dict[bytes, str] = {}
+_IP_STR_CACHE_LIMIT = 65536
+
+
 def bytes_to_ip(raw: bytes) -> str:
     """4 bytes to a dotted-quad string."""
+    cached = _IP_STR_CACHE.get(raw)
+    if cached is not None:
+        return cached
     if len(raw) != 4:
         raise IpError(f"IPv4 address needs 4 bytes, got {len(raw)}")
-    return ".".join(str(b) for b in raw)
+    rendered = ".".join(str(b) for b in raw)
+    if len(_IP_STR_CACHE) >= _IP_STR_CACHE_LIMIT:
+        _IP_STR_CACHE.clear()
+    _IP_STR_CACHE[bytes(raw)] = rendered
+    return rendered
 
 
-def checksum(data: bytes) -> int:
-    """The Internet checksum (RFC 1071) over ``data``."""
+def checksum(data: bytes | bytearray | memoryview) -> int:
+    """The Internet checksum (RFC 1071) over any bytes-like ``data``.
+
+    Odd-length input is zero-padded on the right per RFC 1071's
+    "padded at the end with zero" rule; the pad is explicit (never a
+    truncation) and works for memoryview/bytearray inputs too.
+    """
     if len(data) % 2:
-        data += b"\x00"
+        data = bytes(data) + b"\x00"
     total = sum(struct.unpack(f"!{len(data) // 2}H", data))
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)

@@ -21,6 +21,7 @@ Two reading disciplines:
 from __future__ import annotations
 
 import io
+import mmap as _mmap
 import struct
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
@@ -48,6 +49,10 @@ MAX_PLAUSIBLE_CAPLEN = 1 << 22
 # Resync scans look this far ahead for the next plausible record
 # boundary before declaring the remainder of the file unreadable.
 RESYNC_SCAN_LIMIT = 1 << 20
+# Fast-path record construction happens this many records at a time:
+# large enough to amortize the chunk loop, small enough that an early
+# abandoning consumer never pays for more than one batch of slices.
+DEFAULT_DECODE_BATCH = 512
 # Tolerant mode disbelieves records whose timestamp jumps more than
 # this far from their neighbours.  A structurally intact header with a
 # mangled timestamp field passes every length check — and in
@@ -168,6 +173,9 @@ class PcapReader:
         source: BinaryIO | str | Path,
         tolerant: bool = False,
         health: TraceHealth | None = None,
+        *,
+        mmap: bool | None = None,
+        decode_batch: int | None = None,
     ) -> None:
         if isinstance(source, (str, Path)):
             self._stream: BinaryIO = open(source, "rb")
@@ -177,6 +185,12 @@ class PcapReader:
             self._owns_stream = False
         self.tolerant = tolerant
         self.health = health if health is not None else TraceHealth()
+        self.mmap_mode = mmap
+        self.decode_batch = (
+            decode_batch
+            if decode_batch is not None and decode_batch > 0
+            else DEFAULT_DECODE_BATCH
+        )
         self.nanosecond = False
         self.snaplen = DEFAULT_SNAPLEN
         self.linktype = LINKTYPE_ETHERNET
@@ -259,8 +273,27 @@ class PcapReader:
     def __iter__(self) -> Iterator[PcapRecord]:
         if self._unusable:
             return
-        inner = self._iter_tolerant() if self.tolerant else self._iter_strict()
         obs = get_obs()
+        inner: Iterator[PcapRecord] | None = None
+        fast = False
+        buffer = self._acquire_buffer()
+        if buffer is not None:
+            index, clean = self._scan_index(buffer, self._offset)
+            if clean:
+                inner = self._iter_fast(buffer, index)
+                fast = True
+            else:
+                # The pre-scan saw something the tolerant streaming
+                # reader must adjudicate (resync, truncation,
+                # timestamp damage): fall back so every health issue
+                # is produced by the reference code path.
+                self._release_buffer(buffer)
+                if obs.enabled:
+                    obs.metrics.counter("ingest.fallbacks").inc()
+        if inner is None:
+            inner = (
+                self._iter_tolerant() if self.tolerant else self._iter_strict()
+            )
         if not obs.enabled:
             yield from inner
             return
@@ -276,6 +309,177 @@ class PcapReader:
         finally:
             obs.metrics.counter("pcap.records").inc(records)
             obs.metrics.counter("pcap.bytes").inc(data_bytes)
+            if fast:
+                obs.metrics.counter("ingest.fast_records").inc(records)
+
+    # ------------------------------------------------------------------
+    # Fast path: zero-copy buffer scan with batched record decode
+    # ------------------------------------------------------------------
+    def _acquire_buffer(self) -> "_mmap.mmap | memoryview | None":
+        """A zero-copy view of the whole capture, or None.
+
+        Only sources whose pcap stream begins at file offset 0 (checked
+        via ``tell() == bytes consumed so far``) are eligible: the scan
+        addresses the buffer with absolute offsets.  ``mmap=False``
+        disables the fast path entirely; ``mmap=None`` (auto) and
+        ``mmap=True`` differ only in intent — both degrade silently to
+        the streaming reader when no buffer can be had.
+        """
+        if self.mmap_mode is False:
+            return None
+        stream = self._stream
+        try:
+            if stream.tell() != self._offset:
+                return None
+        except (AttributeError, OSError, io.UnsupportedOperation):
+            return None
+        if isinstance(stream, io.BytesIO):
+            return stream.getbuffer()
+        try:
+            fileno = stream.fileno()
+        except (AttributeError, OSError, io.UnsupportedOperation):
+            return None
+        try:
+            return _mmap.mmap(fileno, 0, access=_mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            # Empty file, pipe, or a platform refusing the mapping.
+            return None
+
+    @staticmethod
+    def _release_buffer(buffer: "_mmap.mmap | memoryview") -> None:
+        if isinstance(buffer, memoryview):
+            buffer.release()
+        else:
+            buffer.close()
+
+    def _scan_index(
+        self, buffer: "_mmap.mmap | memoryview", base: int
+    ) -> tuple[list[tuple[int, int, int, int]], bool]:
+        """One header walk over the buffer: the record index + verdict.
+
+        Returns ``(index, clean)`` where ``index`` holds
+        ``(timestamp_us, data_start, data_end, orig_len)`` per record.
+        In strict mode the walk is always ``clean`` — the strict reader
+        accepts any header and tolerates a truncated trailing record by
+        stopping, which the index models by simply ending early.  In
+        tolerant mode ``clean`` demands what the streaming reader would
+        pass through without recording a single issue or dropping a
+        record: every header plausible (the `_plausible_header`
+        predicate), every record complete, the file ending exactly on a
+        record boundary, and consecutive timestamps within
+        ``MAX_PLAUSIBLE_TS_JUMP_US`` of each other.
+        """
+        unpack_from = struct.Struct(self._endian + "IIII").unpack_from
+        size = len(buffer)
+        pos = base
+        index: list[tuple[int, int, int, int]] = []
+        append = index.append
+        tolerant = self.tolerant
+        nanosecond = self.nanosecond
+        frac_limit = US_PER_SECOND * (1000 if nanosecond else 1)
+        cap = (
+            self.snaplen
+            if 0 < self.snaplen <= MAX_PLAUSIBLE_CAPLEN
+            else DEFAULT_SNAPLEN
+        )
+        prev_ts: int | None = None
+        clean = True
+        while pos + 16 <= size:
+            ts_sec, ts_frac, incl_len, orig_len = unpack_from(buffer, pos)
+            if tolerant and (
+                ts_frac >= frac_limit
+                or incl_len > cap
+                or incl_len > MAX_PLAUSIBLE_CAPLEN
+                or orig_len < incl_len
+                or orig_len > MAX_PLAUSIBLE_CAPLEN
+            ):
+                clean = False
+                break
+            data_start = pos + 16
+            end = data_start + incl_len
+            if end > size:
+                # Strict tolerates a truncated trailing record by
+                # stopping; tolerant records an issue, so fall back.
+                clean = not tolerant
+                break
+            if nanosecond:
+                ts = ts_sec * US_PER_SECOND + ts_frac // 1000
+            else:
+                ts = ts_sec * US_PER_SECOND + ts_frac
+            if (
+                tolerant
+                and prev_ts is not None
+                and not -MAX_PLAUSIBLE_TS_JUMP_US
+                <= ts - prev_ts
+                <= MAX_PLAUSIBLE_TS_JUMP_US
+            ):
+                # The streaming reader's quorum logic would drop or
+                # re-anchor here (except in sub-3-record files, where
+                # falling back is merely slower, never different).
+                clean = False
+                break
+            prev_ts = ts
+            append((ts, data_start, end, orig_len))
+            pos = end
+        if tolerant and clean and pos != size:
+            # Dangling partial header bytes: the streaming reader
+            # records truncated-record-header for these.
+            clean = False
+        return index, clean
+
+    def _iter_fast(
+        self,
+        buffer: "_mmap.mmap | memoryview",
+        index: list[tuple[int, int, int, int]],
+    ) -> Iterator[PcapRecord]:
+        """Emit pre-scanned records in decode batches.
+
+        Byte-identical to the streaming readers over the clean inputs
+        `_scan_index` admits; bookkeeping (``records_read``, the
+        tolerant timestamp-regression summary, the resume offset) is
+        kept per-yield so an early-abandoning consumer observes the
+        same ledger state it would with the streaming reader.
+        """
+        health = self.health
+        tolerant = self.tolerant
+        batch = self.decode_batch
+        record_cls = PcapRecord
+        last_ts: int | None = None
+        regressions = 0
+        first_regression_at: int | None = None
+        try:
+            for chunk_at in range(0, len(index), batch):
+                chunk = index[chunk_at : chunk_at + batch]
+                records = [
+                    record_cls(ts, bytes(buffer[s:e]), orig)
+                    for ts, s, e, orig in chunk
+                ]
+                for record, (ts, _s, e, _orig) in zip(records, chunk):
+                    if tolerant:
+                        if last_ts is not None and ts < last_ts:
+                            regressions += 1
+                            if first_regression_at is None:
+                                first_regression_at = ts
+                        last_ts = ts
+                    health.records_read += 1
+                    self._offset = e
+                    yield record
+        finally:
+            if regressions:
+                health.record(
+                    STAGE_PCAP, "timestamp-regression",
+                    timestamp_us=first_regression_at,
+                    detail=f"{regressions} record(s) went backwards in time",
+                    benign=True,
+                )
+            self._release_buffer(buffer)
+            try:
+                # Keep the stream in step with what was emitted, so a
+                # re-iteration (fast or streaming) resumes — or ends —
+                # exactly where the streaming reader would.
+                self._stream.seek(self._offset)
+            except (AttributeError, OSError, ValueError):
+                pass
 
     def _iter_strict(self) -> Iterator[PcapRecord]:
         record_struct = struct.Struct(self._endian + "IIII")
@@ -529,9 +733,15 @@ def read_pcap(
     source: BinaryIO | str | Path,
     tolerant: bool = False,
     health: TraceHealth | None = None,
+    *,
+    mmap: bool | None = None,
+    decode_batch: int | None = None,
 ) -> list[PcapRecord]:
     """Read an entire pcap file into memory."""
-    with PcapReader(source, tolerant=tolerant, health=health) as reader:
+    with PcapReader(
+        source, tolerant=tolerant, health=health,
+        mmap=mmap, decode_batch=decode_batch,
+    ) as reader:
         return list(reader)
 
 

@@ -86,6 +86,24 @@ class TestIpv4:
         data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
         assert ip.checksum(data) == 0x220D
 
+    def test_checksum_odd_length_zero_pads(self):
+        # RFC 1071: odd-length data is padded with a zero byte on the
+        # right, i.e. the final byte occupies the high half of the last
+        # 16-bit word.
+        assert ip.checksum(b"\xab") == 0xFFFF - 0xAB00
+        assert ip.checksum(b"\x00\x01\xf2") == ip.checksum(b"\x00\x01\xf2\x00")
+
+    def test_checksum_accepts_buffer_types(self):
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        for odd in (data, data + b"\xab"):
+            expected = ip.checksum(odd)
+            assert ip.checksum(bytearray(odd)) == expected
+            assert ip.checksum(memoryview(odd)) == expected
+            # Non-zero-offset view: must not fall back to the start of
+            # the underlying buffer when padding.
+            padded = b"\xff\xff" + odd
+            assert ip.checksum(memoryview(padded)[2:]) == expected
+
 
 class TestTcp:
     def make(self, **kw):
