@@ -1,6 +1,15 @@
 """T-DAT analysis pipeline: profiles, series, factors, detectors."""
 
 from repro.analysis.ackshift import AckShiftStats, shift_acks
+from repro.analysis.budget import (
+    POLICIES,
+    POLICY_DROP_COLDEST,
+    POLICY_FINALIZE_IDLE,
+    DegradationSummary,
+    EvictionRecord,
+    ResourceBudget,
+    StateLedger,
+)
 from repro.analysis.applications import (
     FlavorReport,
     FlowClockReport,
@@ -106,6 +115,13 @@ __all__ = [
     "TracePacket",
     "ZeroAckBugReport",
     "CaptureVoidReport",
+    "DegradationSummary",
+    "EvictionRecord",
+    "POLICIES",
+    "POLICY_DROP_COLDEST",
+    "POLICY_FINALIZE_IDLE",
+    "ResourceBudget",
+    "StateLedger",
     "analyze_connection",
     "analyze_pcap",
     "canonical_key",

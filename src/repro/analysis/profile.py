@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import BinaryIO
 
+from repro.analysis.budget import POLICY_FINALIZE_IDLE, StateLedger
 from repro.bgp.messages import HEADER_LEN as BGP_HEADER_LEN
 from repro.bgp.messages import MARKER as BGP_MARKER
 from repro.core.health import STAGE_FRAME, TraceHealth
@@ -133,6 +134,10 @@ class Connection:
         self.sender_ip: str | None = None
         self._isn: dict[str, int] = {}
         self.profile: ConnectionProfile | None = None
+        # False when a resource budget truncated this connection's
+        # packet record (shed data or early finalization before close):
+        # the derived profile and analysis rest on partial state.
+        self.complete = True
 
     def add(self, packet: TracePacket) -> None:
         """Append a packet (records must arrive in timestamp order)."""
@@ -518,6 +523,7 @@ def iter_connections(
     *,
     mmap: bool | None = None,
     decode_batch: int | None = None,
+    ledger: StateLedger | None = None,
 ) -> Iterator[Connection]:
     """Stream finalized connections out of a capture, flow by flow.
 
@@ -530,6 +536,15 @@ def iter_connections(
     buffered path for captures whose flows close cleanly; a packet
     arriving for an already-emitted flow is dropped and accounted in
     ``health`` rather than resurrecting the connection.
+
+    A :class:`~repro.analysis.budget.StateLedger` bounds even the open
+    flows: every packet is metered through it, per-connection caps shed
+    excess data (``connection.complete`` flips to ``False``), and when
+    a global watermark trips its eviction plan is executed here —
+    ``finalize-idle`` victims are finalized and yielded early,
+    ``drop-coldest`` victims are discarded.  Either way the victim's
+    key joins ``emitted``, so stragglers land as benign
+    ``packet-after-close`` issues instead of resurrecting state.
     """
     health = health if health is not None else TraceHealth()
     reader: PcapReader | None = None
@@ -578,6 +593,8 @@ def iter_connections(
                 ):
                     del open_flows[other_key]
                     emitted.add(other_key)
+                    if ledger is not None:
+                        ledger.discharge(other_key)
                     flow.connection.finalize()
                     yield flow.connection
             if key in emitted:
@@ -588,6 +605,16 @@ def iter_connections(
                     detail=f"{key}: flow already finalized and emitted",
                     benign=True,
                 )
+                continue
+            if ledger is not None and not ledger.admit(
+                key, len(fields.payload), fields.flags, now
+            ):
+                # A capped connection sheds this packet, but its clock
+                # must keep running so the linger sweep stays honest.
+                flow = open_flows.get(key)
+                if flow is not None:
+                    flow.connection.complete = False
+                    flow.last_ts_us = now
                 continue
             packet = _packet_from_fields(index, record, fields)
             flow = open_flows.get(key)
@@ -600,9 +627,27 @@ def iter_connections(
                 flow.fin_from.add(packet.src_ip)
             if packet.is_rst:
                 flow.saw_rst = True
-        for flow in open_flows.values():
+            if ledger is not None:
+                for victim_key, policy in ledger.plan_evictions(
+                    open_flows, key, now
+                ):
+                    victim = open_flows.pop(victim_key)
+                    emitted.add(victim_key)
+                    if policy == POLICY_FINALIZE_IDLE:
+                        # Early render: complete only if the flow had
+                        # already closed and was merely lingering.
+                        victim.connection.complete = (
+                            victim.connection.complete and victim.closable
+                        )
+                        victim.connection.finalize()
+                        yield victim.connection
+        for key, flow in open_flows.items():
+            if ledger is not None:
+                ledger.discharge(key)
             flow.connection.finalize()
             yield flow.connection
+        if ledger is not None:
+            ledger.finish()
     finally:
         if reader is not None:
             reader.close()

@@ -14,6 +14,11 @@ from pathlib import Path
 from typing import BinaryIO
 
 from repro.analysis.ackshift import AckShiftStats, shift_acks
+from repro.analysis.budget import (
+    DegradationSummary,
+    ResourceBudget,
+    StateLedger,
+)
 from repro.analysis.detectors import (
     ConsecutiveLossReport,
     TimerGapReport,
@@ -56,10 +61,20 @@ class ConnectionAnalysis:
     consecutive_losses: ConsecutiveLossReport
     zero_ack_bug: ZeroAckBugReport
     capture_voids: CaptureVoidReport
+    #: False when a resource budget truncated or early-finalized this
+    #: connection — the analysis rests on partial state.
+    complete: bool = True
 
     @property
     def key(self) -> FlowKey:
         return self.connection.key
+
+    @property
+    def confidence(self) -> str:
+        """``"full"``, or ``"reduced"`` when the budget shed state —
+        factor attribution from a truncated packet record is still the
+        best available estimate, but not a complete observation."""
+        return "full" if self.complete else "reduced"
 
 
 @dataclass
@@ -69,6 +84,9 @@ class TdatReport:
     analyses: dict[FlowKey, ConnectionAnalysis] = field(default_factory=dict)
     skipped_connections: int = 0
     health: TraceHealth = field(default_factory=TraceHealth)
+    #: Present whenever a budget was in force (``degraded`` tells
+    #: whether it actually shed anything); ``None`` for unbudgeted runs.
+    degradation: DegradationSummary | None = None
 
     def __iter__(self):
         return iter(self.analyses.values())
@@ -138,6 +156,7 @@ def analyze_connection(
         consecutive_losses=consecutive_losses,
         zero_ack_bug=zero_ack_bug,
         capture_voids=voids,
+        complete=getattr(connection, "complete", True),
     )
 
 
@@ -180,6 +199,7 @@ def analyze_pcap(
     mmap: bool | None = None,
     decode_batch: int | None = None,
     series_backend: str | None = None,
+    budget: ResourceBudget | None = None,
 ) -> TdatReport:
     """Analyze every TCP connection in a capture.
 
@@ -218,6 +238,15 @@ def analyze_pcap(
     * ``series_backend`` — ``"auto"`` | ``"python"`` | ``"numpy"``
       kernel selection for series generation (ignored when an explicit
       ``config`` is given; set it on the config instead).
+
+    ``budget`` bounds the live analysis state itself (see
+    :class:`~repro.analysis.budget.ResourceBudget`): ingest is forced
+    onto the streaming path, every packet is metered, and watermark
+    trips evict state deterministically.  The run then *degrades*
+    rather than growing without bound — shed state is accounted in
+    benign health issues and ``report.degradation`` — and whenever the
+    trace fits the budget the report is byte-identical to an
+    unbudgeted streaming run.
     """
     if config is None:
         config = SeriesConfig(
@@ -227,26 +256,32 @@ def analyze_pcap(
     if health is None:
         health = TraceHealth(strict=strict)
     report = TdatReport(health=health)
+    ledger: StateLedger | None = None
+    if budget is not None and budget.bounded:
+        ledger = StateLedger(budget, health=health)
+        report.degradation = ledger.summary
+    bounded = streaming or ledger is not None
     if pool is None:
         pool = WorkPool(workers=workers)
     parallel = pool.workers > 1
 
-    if streaming and not parallel:
+    if bounded and not parallel:
         for analysis in _analyze_stream(
             source, report, windows=windows, config=config,
             min_data_packets=min_data_packets, strict=strict, health=health,
-            mmap=mmap, decode_batch=decode_batch,
+            mmap=mmap, decode_batch=decode_batch, ledger=ledger,
         ):
             report.analyses[analysis.key] = analysis
         _restore_capture_order(report)
         return report
 
-    if streaming:
+    if bounded:
         # Parallel + streaming: ingest incrementally (bounded by open
-        # flows), then batch the eligible connections through the pool.
+        # flows, and by the ledger when a budget is set), then batch
+        # the eligible connections through the pool.
         connections = iter_connections(
             source, health=health, tolerant=not strict,
-            mmap=mmap, decode_batch=decode_batch,
+            mmap=mmap, decode_batch=decode_batch, ledger=ledger,
         )
     else:
         connections = iter(Trace.from_pcap(
@@ -292,7 +327,7 @@ def analyze_pcap(
                 )
             report.skipped_connections += 1
             _record_analysis_failure(health, connection, str(outcome.error))
-    if streaming:
+    if bounded:
         _restore_capture_order(report)
     return report
 
@@ -323,11 +358,12 @@ def _analyze_stream(
     health: TraceHealth,
     mmap: bool | None = None,
     decode_batch: int | None = None,
+    ledger: StateLedger | None = None,
 ):
     """Yield analyses one flow at a time, updating ``report`` counters."""
     for connection in iter_connections(
         source, health=health, tolerant=not strict,
-        mmap=mmap, decode_batch=decode_batch,
+        mmap=mmap, decode_batch=decode_batch, ledger=ledger,
     ):
         if connection.profile is None or (
             connection.profile.total_data_packets < min_data_packets
@@ -357,6 +393,8 @@ def iter_analyze_pcap(
     mmap: bool | None = None,
     decode_batch: int | None = None,
     series_backend: str | None = None,
+    budget: ResourceBudget | None = None,
+    ledger: StateLedger | None = None,
 ):
     """The incremental form of :func:`analyze_pcap`.
 
@@ -366,7 +404,10 @@ def iter_analyze_pcap(
     transfers can be analyzed in bounded memory — the use case behind
     the paper's multi-week monitoring traces.  The performance knobs
     (``mmap``, ``decode_batch``, ``series_backend``) behave exactly as
-    in :func:`analyze_pcap`.
+    in :func:`analyze_pcap`, as does ``budget``; a caller that needs
+    the :class:`~repro.analysis.budget.DegradationSummary` afterwards
+    can construct the :class:`~repro.analysis.budget.StateLedger`
+    itself and pass it as ``ledger`` (which overrides ``budget``).
     """
     if config is None:
         config = SeriesConfig(
@@ -375,9 +416,11 @@ def iter_analyze_pcap(
         )
     if health is None:
         health = TraceHealth(strict=strict)
+    if ledger is None and budget is not None and budget.bounded:
+        ledger = StateLedger(budget, health=health)
     throwaway = TdatReport(health=health)
     yield from _analyze_stream(
         source, throwaway, windows=windows, config=config,
         min_data_packets=min_data_packets, strict=strict, health=health,
-        mmap=mmap, decode_batch=decode_batch,
+        mmap=mmap, decode_batch=decode_batch, ledger=ledger,
     )

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, BinaryIO, Iterator
 
+from repro.analysis.budget import ResourceBudget
 from repro.analysis.profile import FlowKey
 from repro.analysis.series import (
     SERIES_BACKENDS,
@@ -65,6 +66,10 @@ class AnalysisRequest:
     is differentially tested against its pure-python reference and
     falls back automatically when its preconditions fail.  ``None``
     inherits the :class:`Pipeline` default.
+
+    ``budget`` bounds the live analysis state
+    (:class:`~repro.analysis.budget.ResourceBudget`); like the
+    performance knobs, ``None`` inherits the pipeline's budget.
     """
 
     source: BinaryIO | str | Path | list[PcapRecord]
@@ -78,6 +83,7 @@ class AnalysisRequest:
     mmap: bool | None = None
     decode_batch: int | None = None
     series_backend: str | None = None  # one of SERIES_BACKENDS
+    budget: ResourceBudget | None = None
 
 
 @dataclass
@@ -161,6 +167,7 @@ class Pipeline:
     mmap: bool | None = None
     decode_batch: int | None = None
     series_backend: str = "auto"
+    budget: ResourceBudget | None = None
     seed: int | None = None
     task_timeout: float | None = None
     max_retries: int = 0
@@ -219,6 +226,7 @@ class Pipeline:
             series_backend=self._knob(
                 request.series_backend, self.series_backend
             ),
+            budget=self._knob(request.budget, self.budget),
         )
 
     def extract_bgp(
@@ -278,6 +286,7 @@ class Pipeline:
                     series_backend=self._knob(
                         request.series_backend, self.series_backend
                     ),
+                    budget=self._knob(request.budget, self.budget),
                 )
             if isinstance(request, CampaignRequest):
                 if request.seed is None and self.seed is not None:
@@ -309,4 +318,5 @@ __all__ = [
     "TraceHealth",
     "SERIES_BACKENDS",
     "SeriesConfig",
+    "ResourceBudget",
 ]

@@ -37,11 +37,14 @@ from repro.workloads.checkpoint import (
 
 # Injection points owned by the harness itself rather than a
 # filesystem or worker seam: a retry storm is delivered through the
-# campaign's own transient-fault knob (``config.fail_episodes``), and
-# a drain through a programmatic GracefulShutdown request — the same
-# code path a SIGTERM takes, minus the signal delivery.
+# campaign's own transient-fault knob (``config.fail_episodes``), a
+# drain through a programmatic GracefulShutdown request — the same
+# code path a SIGTERM takes, minus the signal delivery — and memory
+# pressure through the analysis resource budget
+# (``repro.analysis.budget``), fed an adversarial connection flood.
 POINT_RETRY_STORM = "pool.retry-storm"
 POINT_DRAIN = "campaign.drain"
+POINT_MEMORY_PRESSURE = "analysis.memory-pressure"
 
 #: Every registered injection point, with what injecting there models.
 #: RL007 keeps this dict, the ``POINT_*`` constants at the seams, and
@@ -62,6 +65,9 @@ INJECTION_POINTS = {
     "pool.retry-storm": "transient failures across many episodes at "
                         "once, stressing the retry/backoff machinery",
     "campaign.drain": "SIGTERM-style cooperative drain mid-campaign",
+    "analysis.memory-pressure": "analysis state budget exhausted by a "
+                                "connection flood, forcing eviction "
+                                "and graceful degradation",
 }
 
 #: fault classes = injection points, in registry order; seed N
@@ -88,6 +94,21 @@ class FsFault:
     mode: str
     at_call: int
     fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class MemoryPressure:
+    """A memory-pressure episode: flood the analyzer, budget its state.
+
+    ``ample=True`` draws a budget the flood cannot trip — the
+    invariant under test is then byte-identity with the unbudgeted
+    run; ``ample=False`` draws one it must trip, and the invariant is
+    graceful, typed degradation with peak state inside the budget.
+    """
+
+    ample: bool
+    max_live_connections: int
+    connections: int
 
 
 @dataclass(frozen=True)
@@ -118,6 +139,7 @@ class ChaosPlan:
     pool_faults: tuple[tuple[int, int, WorkerFault], ...] = ()
     storm_episodes: tuple[int, ...] = ()
     drain_after: int | None = None
+    memory_pressure: MemoryPressure | None = None
 
     @property
     def parallel(self) -> bool:
@@ -147,6 +169,13 @@ class ChaosPlan:
             parts.append(f"episodes{list(self.storm_episodes)}")
         if self.drain_after is not None:
             parts.append(f"drain-after-{self.drain_after}")
+        if self.memory_pressure is not None:
+            pressure = self.memory_pressure
+            parts.append(
+                f"flood{pressure.connections}/"
+                f"budget{pressure.max_live_connections}"
+                f"{'-ample' if pressure.ample else '-tight'}"
+            )
         return " ".join(parts)
 
 
@@ -232,6 +261,21 @@ def draw_plan(seed: int, tasks: int = 3) -> ChaosPlan:
         count = rng.randint(max(1, tasks // 2), tasks)
         episodes = tuple(sorted(rng.sample(range(tasks), count)))
         return ChaosPlan(seed, fault_class, storm_episodes=episodes)
+    if fault_class == POINT_MEMORY_PRESSURE:
+        ample = rng.random() < 0.5
+        connections = rng.randint(8, 16)
+        # Ample must clear the high watermark (eviction arms at
+        # 0.9×limit against a peak of ``connections`` live flows);
+        # tight must trip it immediately.
+        max_live = connections * 2 if ample else rng.randint(2, 4)
+        return ChaosPlan(
+            seed, fault_class,
+            memory_pressure=MemoryPressure(
+                ample=ample,
+                max_live_connections=max_live,
+                connections=connections,
+            ),
+        )
     # POINT_DRAIN
     return ChaosPlan(
         seed, fault_class, drain_after=rng.randint(1, tasks - 1),

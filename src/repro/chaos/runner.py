@@ -19,10 +19,17 @@ clean run of the identical configuration:
 * ``undefined`` — the armed fault never fired (a schedule bug), or a
   fault class no seed exercised.
 
+The ``analysis.memory-pressure`` class runs against the analysis
+pipeline instead of a campaign: an adversarial connection flood under
+a :class:`~repro.analysis.budget.ResourceBudget`.  An ample budget
+must leave the report byte-identical to the unbudgeted run
+(``byte-identical``); a tight one must degrade *gracefully* — typed
+benign issues, peak state inside the budget (``typed-recoverable``).
+
 ``python -m repro.chaos`` / ``tdat chaos`` sweep a contiguous seed
-range (covering every fault class, since the class is ``seed % 10``)
-and report the per-fault-class outcome matrix; any ``violation`` or
-``undefined`` cell fails the sweep.
+range (covering every fault class, since the class is
+``seed % len(FAULT_CLASSES)``) and report the per-fault-class outcome
+matrix; any ``violation`` or ``undefined`` cell fails the sweep.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from repro.chaos.fsfaults import FaultyCheckpointFs, SimulatedCrash
 from repro.chaos.plan import (
     FAULT_CLASSES,
     POINT_HEARTBEAT_LOSS,
+    POINT_MEMORY_PRESSURE,
     POINT_WORKER_STALL,
     ChaosHooks,
     ChaosPlan,
@@ -357,8 +365,98 @@ def _execute_plan(
     return OUTCOME_IDENTICAL, "fault absorbed; byte-identical to clean run"
 
 
+@lru_cache(maxsize=8)
+def _flood_records(connections: int) -> tuple:
+    """The memory-pressure flood trace, cached across a sweep."""
+    from repro.faults.stress import connection_flood
+
+    return tuple(connection_flood(connections=connections))
+
+
+def _execute_memory_pressure(plan: ChaosPlan) -> tuple[str, str]:
+    """Differential verdict for an analysis memory-pressure episode.
+
+    The baseline here is the *unbudgeted streaming* analysis of the
+    same flood, not a campaign run: the injection point lives in the
+    analysis pipeline's state ledger, downstream of everything the
+    campaign machinery exercises.
+    """
+    from repro.analysis.budget import ResourceBudget
+    from repro.analysis.tdat import analyze_pcap
+    from repro.faults.stress import (
+        ALLOWED_DEGRADATION_KINDS,
+        analysis_fingerprint,
+    )
+
+    pressure = plan.memory_pressure
+    assert pressure is not None
+    records = list(_flood_records(pressure.connections))
+    clean = analyze_pcap(records, streaming=True)
+    budgeted = analyze_pcap(
+        records,
+        budget=ResourceBudget(
+            max_live_connections=pressure.max_live_connections
+        ),
+    )
+    summary = budgeted.degradation
+    if pressure.ample:
+        if summary is not None and summary.degraded:
+            return OUTCOME_VIOLATION, "ample budget degraded the analysis"
+        if analysis_fingerprint(budgeted) != analysis_fingerprint(clean):
+            return (
+                OUTCOME_VIOLATION,
+                "ample-budget report diverged from the clean run",
+            )
+        return (
+            OUTCOME_IDENTICAL,
+            "budget armed but never binding; byte-identical to clean run",
+        )
+    if summary is None or not summary.degraded:
+        return OUTCOME_UNDEFINED, "armed memory pressure never fired"
+    if budgeted.health.failures:
+        kinds = sorted({issue.kind for issue in budgeted.health.failures})
+        return (
+            OUTCOME_VIOLATION,
+            f"degradation recorded non-benign issues: {kinds}",
+        )
+    unknown = set(budgeted.health.by_kind()) - ALLOWED_DEGRADATION_KINDS
+    if unknown:
+        return (
+            OUTCOME_VIOLATION,
+            f"untyped degradation kinds: {sorted(unknown)}",
+        )
+    if summary.peak_live_connections > pressure.max_live_connections:
+        return (
+            OUTCOME_VIOLATION,
+            f"peak live connections {summary.peak_live_connections} "
+            f"exceeded the budget {pressure.max_live_connections}",
+        )
+    return OUTCOME_TYPED, f"degraded gracefully: {summary.summary()}"
+
+
 def run_plan(plan: ChaosPlan, transfers: int = 3) -> ChaosCase:
     """Execute one chaos plan and return its differential verdict."""
+    if plan.fault_class == POINT_MEMORY_PRESSURE:
+        obs = get_obs()
+        with obs.tracer.span(
+            "chaos.plan", cat="chaos",
+            args={"seed": plan.seed, "fault_class": plan.fault_class},
+        ):
+            outcome, detail = _execute_memory_pressure(plan)
+        if obs.enabled:
+            obs.metrics.counter("chaos.plans", wall=True).inc()
+            obs.metrics.counter("chaos.injections", wall=True).inc(
+                plan.injections()
+            )
+            if outcome == OUTCOME_VIOLATION:
+                obs.metrics.counter("chaos.violations", wall=True).inc()
+        return ChaosCase(
+            seed=plan.seed,
+            fault_class=plan.fault_class,
+            outcome=outcome,
+            description=plan.describe(),
+            detail=detail,
+        )
     config = chaos_config(transfers)
     if plan.storm_episodes:
         # The retry storm rides the campaign's own transient-fault
@@ -440,8 +538,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--seeds", type=int, default=25,
-        help="number of consecutive seeds to sweep (default 25; "
-        "at least 10 to cover every fault class)",
+        help=f"number of consecutive seeds to sweep (default 25; at "
+        f"least {len(FAULT_CLASSES)} to cover every fault class)",
     )
     parser.add_argument(
         "--base-seed", type=int, default=0,

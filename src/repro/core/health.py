@@ -64,6 +64,13 @@ ISSUE_KINDS = {
     "stream-hole": "capture drop left a gap inside the BGP stream",
     # analysis
     "connection-analysis-failed": "per-connection T-DAT analysis crashed",
+    "analysis-state-evicted": "resource budget shed tracked connection state",
+    "analysis-connection-finalized-early":
+        "budget watermark forced a report to render from partial state",
+    "analysis-degraded": "a resource budget degraded this analysis",
+    # health (the ledger's own bookkeeping)
+    "issues-truncated":
+        "per-kind issue cap reached; further issues counted, not stored",
     # exec
     "transfer-crashed": "campaign work unit died inside a worker",
     "sim-budget-exceeded": "simulation exceeded its event budget",
@@ -77,6 +84,13 @@ ISSUE_KINDS = {
 
 #: Fast membership check for validation paths.
 KNOWN_ISSUE_KINDS = frozenset(ISSUE_KINDS)
+
+#: Default per-kind cap on *stored* issues.  A degenerate trace (e.g.
+#: a million-packet flood arriving after its flows closed) must not
+#: turn the health ledger itself into the memory hog: past the cap,
+#: further issues of that kind are counted and their bytes summed, but
+#: the issue objects are not retained.
+DEFAULT_MAX_ISSUES_PER_KIND = 10_000
 
 
 class IngestError(ValueError):
@@ -124,6 +138,16 @@ class TraceHealth:
     strict: bool = False
     records_read: int = 0
     frames_decoded: int = 0
+    #: per-kind cap on stored issues (``None`` = unlimited).  The cap
+    #: bounds *storage*, not accounting: capped kinds keep counting in
+    #: ``suppressed`` and their bytes in ``suppressed_bytes_lost``, and
+    #: the first overflow stores one ``issues-truncated`` marker.
+    max_issues_per_kind: int | None = DEFAULT_MAX_ISSUES_PER_KIND
+    suppressed: dict[str, int] = field(default_factory=dict)
+    suppressed_bytes_lost: int = 0
+    # stored-issue count per kind; kept incrementally so the cap check
+    # stays O(1) on the per-packet ingest path.
+    _kind_counts: dict[str, int] = field(default_factory=dict, repr=False)
 
     def record(
         self,
@@ -148,6 +172,30 @@ class TraceHealth:
         )
         if self.strict and not benign:
             raise IngestError(str(issue))
+        cap = self.max_issues_per_kind
+        if (
+            cap is not None
+            and kind != "issues-truncated"
+            and self._kind_counts.get(kind, 0) >= cap
+        ):
+            if kind not in self.suppressed:
+                self.suppressed[kind] = 0
+                # One stored overflow marker per capped kind.  It
+                # inherits the trigger's benign flag so a flood of
+                # *failures* still surfaces as a failure after the cap.
+                self.record(
+                    stage, "issues-truncated",
+                    timestamp_us=timestamp_us,
+                    detail=(
+                        f"{kind}: per-kind cap {cap} reached; further "
+                        f"issues counted in `suppressed`, not stored"
+                    ),
+                    benign=benign,
+                )
+            self.suppressed[kind] += 1
+            self.suppressed_bytes_lost += bytes_lost
+            return issue
+        self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
         self.issues.append(issue)
         return issue
 
@@ -163,8 +211,15 @@ class TraceHealth:
 
     @property
     def bytes_lost(self) -> int:
-        """Total payload bytes the recorded issues cost."""
-        return sum(issue.bytes_lost for issue in self.issues)
+        """Total payload bytes the recorded issues cost.
+
+        Includes bytes accounted by cap-suppressed issues: the cap
+        bounds storage, never the loss arithmetic.
+        """
+        return (
+            sum(issue.bytes_lost for issue in self.issues)
+            + self.suppressed_bytes_lost
+        )
 
     def by_stage(self) -> dict[str, int]:
         """Issue counts keyed by pipeline stage."""
@@ -174,15 +229,30 @@ class TraceHealth:
         return counts
 
     def by_kind(self) -> dict[str, int]:
-        """Issue counts keyed by issue kind."""
+        """Issue counts keyed by issue kind (suppressed ones included)."""
         counts: dict[str, int] = {}
         for issue in self.issues:
             counts[issue.kind] = counts.get(issue.kind, 0) + 1
+        for kind, count in self.suppressed.items():
+            counts[kind] = counts.get(kind, 0) + count
         return counts
 
     def merge(self, other: "TraceHealth") -> None:
-        """Fold another ledger (e.g. a capture-side one) into this one."""
+        """Fold another ledger (e.g. a capture-side one) into this one.
+
+        Issues the other ledger stored are kept verbatim — merging
+        never re-caps, so a fold of N workers' ledgers can hold up to
+        N×cap issues per kind; each worker's ledger bounded its own
+        accumulation, which is what the cap is for.
+        """
         self.issues.extend(other.issues)
+        for issue in other.issues:
+            self._kind_counts[issue.kind] = (
+                self._kind_counts.get(issue.kind, 0) + 1
+            )
+        for kind, count in other.suppressed.items():
+            self.suppressed[kind] = self.suppressed.get(kind, 0) + count
+        self.suppressed_bytes_lost += other.suppressed_bytes_lost
         self.records_read += other.records_read
         self.frames_decoded += other.frames_decoded
 
@@ -194,6 +264,7 @@ class TraceHealth:
             "frames_decoded": self.frames_decoded,
             "bytes_lost": self.bytes_lost,
             "issue_count": len(self.issues),
+            "suppressed": dict(self.suppressed),
             "by_stage": self.by_stage(),
             "by_kind": self.by_kind(),
             "issues": [
@@ -217,12 +288,19 @@ class TraceHealth:
                 f"trace health: clean ({self.records_read} records, "
                 f"{self.frames_decoded} frames decoded)"
             )
+        total = len(self.issues) + sum(self.suppressed.values())
         lines = [
-            f"trace health: {len(self.issues)} issue(s), "
+            f"trace health: {total} issue(s), "
             f"{self.bytes_lost} bytes lost "
             f"({self.records_read} records, "
             f"{self.frames_decoded} frames decoded)"
         ]
+        if self.suppressed:
+            capped = ", ".join(
+                f"{kind} +{count}"
+                for kind, count in sorted(self.suppressed.items())
+            )
+            lines.append(f"  suppressed past per-kind cap: {capped}")
         for stage in STAGES:
             count = self.by_stage().get(stage)
             if count:

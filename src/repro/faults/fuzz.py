@@ -11,9 +11,15 @@ Drives the robustness invariant the ingest layer promises:
 * **clean is clean** — the unmangled trace produces an empty report and
   factor vectors identical to the strict (legacy fail-fast) pipeline.
 
-Run it from the command line::
+Run it from the command line (``python -m repro.faults.fuzz`` is the
+deprecated spelling of the same driver)::
 
-    python -m repro.faults.fuzz --seeds 200
+    tdat fuzz --seeds 200
+
+With ``--stress``, the campaign also runs the adversarial stress corpus
+(:mod:`repro.faults.stress`): well-formed traces shaped to exhaust
+analysis state, checked against the resource-budget degradation
+contract.
 
 Every case is replayable: a failing seed prints its operator plan, and
 ``mangle(blob, plan, seed)`` regenerates the exact damaged bytes.
@@ -56,6 +62,9 @@ class FuzzReport:
     cases: list[FuzzCase] = field(default_factory=list)
     clean_ok: bool = True
     clean_detail: str = ""
+    #: populated when the campaign also ran the adversarial stress
+    #: corpus (``--stress``); None when it was skipped.
+    stress: "object | None" = None  # repro.faults.stress.StressReport
 
     @property
     def crashes(self) -> list[FuzzCase]:
@@ -63,7 +72,8 @@ class FuzzReport:
 
     @property
     def ok(self) -> bool:
-        return not self.crashes and self.clean_ok
+        stress_ok = self.stress is None or self.stress.ok
+        return not self.crashes and self.clean_ok and stress_ok
 
     def summary(self) -> str:
         lines = [
@@ -83,6 +93,8 @@ class FuzzReport:
             lines.append(
                 f"  {issue_total} ingest issue(s) recorded across the campaign"
             )
+        if self.stress is not None:
+            lines.append(self.stress.summary())
         return "\n".join(lines)
 
 
@@ -158,9 +170,16 @@ def run_fuzz(
     duration_s: int = 60,
     min_ops: int = 1,
     max_ops: int = 3,
+    stress: bool = False,
+    stress_connections: int = 2_000,
     progress=None,
 ) -> FuzzReport:
-    """Run the whole campaign: clean invariant plus N mangled variants."""
+    """Run the whole campaign: clean invariant plus N mangled variants.
+
+    ``stress=True`` appends the adversarial stress corpus — clean
+    traces that attack analysis *state* rather than capture *bytes* —
+    verified against the resource-budget degradation contract.
+    """
     blob = clean_trace_bytes(
         table_prefixes=table_prefixes, duration_s=duration_s
     )
@@ -171,6 +190,10 @@ def run_fuzz(
         report.cases.append(case)
         if progress is not None:
             progress(case)
+    if stress:
+        from repro.faults.stress import run_stress
+
+        report.stress = run_stress(connections=stress_connections)
     return report
 
 
@@ -197,6 +220,15 @@ def main(argv: list[str] | None = None) -> int:
         help="most fault operators composed per case (default: 3)",
     )
     parser.add_argument(
+        "--stress", action="store_true",
+        help="also run the adversarial stress corpus against the "
+        "resource-budget degradation contract",
+    )
+    parser.add_argument(
+        "--stress-connections", type=int, default=2_000, metavar="N",
+        help="connection-flood size for --stress (default: 2000)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="print every case",
     )
     args = parser.parse_args(argv)
@@ -216,11 +248,26 @@ def main(argv: list[str] | None = None) -> int:
         base_seed=args.base_seed,
         table_prefixes=args.table,
         max_ops=args.max_ops,
+        stress=args.stress,
+        stress_connections=args.stress_connections,
         progress=progress,
     )
     print(report.summary())
     return 0 if report.ok else 1
 
 
+def _deprecated_entry() -> int:  # pragma: no cover - exercised via CI
+    # Deprecated spelling: the promoted entry point is ``tdat fuzz``.
+    # The warning fires only on direct execution, never on import (the
+    # CI deprecation gate imports with -W error) and never through
+    # ``tdat fuzz`` (which calls :func:`main` directly).
+    from repro.core.deprecation import warn_deprecated
+
+    warn_deprecated(
+        "python -m repro.faults.fuzz is deprecated; use `tdat fuzz`"
+    )
+    return main()
+
+
 if __name__ == "__main__":  # pragma: no cover - exercised via CI
-    raise SystemExit(main())
+    raise SystemExit(_deprecated_entry())

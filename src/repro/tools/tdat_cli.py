@@ -73,6 +73,7 @@ EXIT_ERROR = 2
 EXIT_ISSUES = 3
 EXIT_INTERRUPTED = 4
 EXIT_REGRESSION = 5
+EXIT_DEGRADED = 6
 
 #: the one exit-code contract every subcommand shares; rendered
 #: verbatim into ``--help`` so the table cannot drift from the code.
@@ -83,7 +84,8 @@ exit codes:
   2  error (unreadable input, bad arguments, damaged beyond salvage)
   3  success, but tolerant ingest recorded non-benign issues
   4  interrupted; completed episodes checkpointed, re-run with --resume
-  5  benchmark gate failed (tdat bench: speedup, overhead or regression)\
+  5  benchmark gate failed (tdat bench: speedup, overhead or regression)
+  6  completed, but the resource budget shed state (degraded analysis)\
 """
 
 SUBCOMMANDS = (
@@ -232,6 +234,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--streaming", action="store_true",
         help="analyze each flow as it closes (bounded-memory ingest)",
     )
+    p.add_argument(
+        "--max-live-connections", type=int, default=None, metavar="N",
+        help="budget: evict tracked state past N simultaneously open "
+        "connections (deterministic; shed state is reported and the "
+        "run exits 6 when anything was actually evicted)",
+    )
+    p.add_argument(
+        "--max-state-bytes", type=int, default=None, metavar="B",
+        help="budget: cap total tracked analysis state at B modeled bytes",
+    )
+    p.add_argument(
+        "--max-connection-packets", type=int, default=None, metavar="N",
+        help="budget: cap any single connection at N tracked packets "
+        "(excess data is shed; the connection analyzes as incomplete)",
+    )
     _execution_options(p)
     p.set_defaults(handler=_cmd_analyze)
 
@@ -339,6 +356,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-ops", type=int, default=3,
         help="most fault operators composed per case (default: 3)",
     )
+    p.add_argument(
+        "--stress", action="store_true",
+        help="also run the adversarial stress corpus (connection "
+        "floods, idle flows, pathological reordering) through a "
+        "tight resource budget and check the degradation contract",
+    )
+    p.add_argument(
+        "--stress-connections", type=int, default=2_000, metavar="N",
+        help="connections in the stress corpus's flood trace "
+        "(default: 2000)",
+    )
     p.add_argument("--verbose", action="store_true", help="print every case")
     p.set_defaults(handler=_cmd_fuzz)
 
@@ -413,29 +441,52 @@ def main(argv: list[str] | None = None) -> int:
 # ---------------------------------------------------------------------- #
 # Subcommand handlers                                                     #
 # ---------------------------------------------------------------------- #
+def _budget_from_args(args):
+    """A :class:`ResourceBudget` when any budget flag was given."""
+    limits = (
+        args.max_live_connections, args.max_state_bytes,
+        args.max_connection_packets,
+    )
+    if all(limit is None for limit in limits):
+        return None
+    from repro.analysis.budget import ResourceBudget
+
+    return ResourceBudget(
+        max_live_connections=args.max_live_connections,
+        max_state_bytes=args.max_state_bytes,
+        max_connection_packets=args.max_connection_packets,
+    )
+
+
 def _cmd_analyze(args) -> int:
     obs = _make_obs(args)
     pipe = Pipeline(
         workers=args.workers, strict=args.strict, streaming=args.streaming,
         task_timeout=args.task_timeout, max_retries=args.max_retries,
-        obs=obs,
+        obs=obs, budget=_budget_from_args(args),
     )
     report = pipe.analyze(args.pcap, sniffer_location=args.sniffer_location)
     _write_obs(args, obs)
     # Benign issues (recoveries, resume markers) are reported but do
-    # not flip the exit code; only actual failures do.
+    # not flip the exit code; only actual failures do.  A budget that
+    # actually shed state gets its own completed-degraded exit path.
     noisy = not report.health.ok
     failed = bool(report.health.failures)
+    degraded = report.degradation is not None and report.degradation.degraded
+    if report.degradation is not None:
+        _status(args, report.degradation.summary())
     if not len(report):
         if noisy:
             _status(args, report.health.summary())
         _status(args, "no analyzable TCP connections found")
-        return EXIT_NOTHING
+        return EXIT_DEGRADED if degraded and not failed else EXIT_NOTHING
     if args.json:
         payload = {
             "connections": [_analysis_to_dict(a) for a in report],
             "health": report.health.to_dict(),
         }
+        if report.degradation is not None:
+            payload["degradation"] = report.degradation.to_dict()
         print(json.dumps(payload, indent=2))
     else:
         for analysis in report:
@@ -443,7 +494,9 @@ def _cmd_analyze(args) -> int:
             print()
     if noisy:
         _status(args, report.health.summary())
-    return EXIT_ISSUES if failed else EXIT_OK
+    if failed:
+        return EXIT_ISSUES
+    return EXIT_DEGRADED if degraded else EXIT_OK
 
 
 def _cmd_campaign(args) -> int:
@@ -619,6 +672,10 @@ def _cmd_fuzz(args) -> int:
         "--table", str(args.table),
         "--max-ops", str(args.max_ops),
     ]
+    if args.stress:
+        fuzz_argv += [
+            "--stress", "--stress-connections", str(args.stress_connections),
+        ]
     if args.verbose:
         fuzz_argv.append("--verbose")
     return EXIT_ISSUES if fuzz.main(fuzz_argv) else EXIT_OK
@@ -683,6 +740,8 @@ def _analysis_to_dict(analysis) -> dict:
     return {
         "connection": f"{src}:{sport}<->{dst}:{dport}",
         "sender": analysis.connection.sender_ip,
+        "complete": analysis.complete,
+        "confidence": analysis.confidence,
         "profile": {
             "mss": profile.mss,
             "rtt_us": profile.rtt_us,

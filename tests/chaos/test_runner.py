@@ -88,9 +88,10 @@ class TestAcceptanceSweep:
             ), (fault_class, matrix[fault_class], report.summary())
         assert report.violations == []
         assert report.ok
-        # 100 seeds over 10 classes: exactly 10 plans per class.
+        # 100 seeds round-robined over the 11 classes: 9 or 10 plans
+        # per class.
         for fault_class, cell in report.counts().items():
-            assert sum(cell.values()) == 10, fault_class
+            assert sum(cell.values()) in (9, 10), fault_class
 
 
 class TestCli:
@@ -105,13 +106,13 @@ class TestCli:
     def test_json_and_matrix_out(self, tmp_path, capsys):
         matrix_path = tmp_path / "matrix.json"
         code = main([
-            "--seeds", "10", "--transfers", "2",
+            "--seeds", str(len(FAULT_CLASSES)), "--transfers", "2",
             "--json", "--matrix-out", str(matrix_path),
         ])
         assert code == 0
         report = json.loads(capsys.readouterr().out)
         assert report["ok"] is True
-        assert len(report["cases"]) == 10
+        assert len(report["cases"]) == len(FAULT_CLASSES)
         written = json.loads(matrix_path.read_text())
         assert set(written["matrix"]) == set(FAULT_CLASSES)
         assert all(

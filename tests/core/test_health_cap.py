@@ -1,0 +1,98 @@
+"""The TraceHealth per-kind issue cap: bounded storage, honest totals."""
+
+import pytest
+
+from repro.core.health import (
+    DEFAULT_MAX_ISSUES_PER_KIND,
+    STAGE_PCAP,
+    IngestError,
+    TraceHealth,
+)
+
+
+def _flood(health, kind, count, bytes_lost=0, benign=True):
+    for i in range(count):
+        health.record(
+            STAGE_PCAP, kind, offset=i, bytes_lost=bytes_lost, benign=benign
+        )
+
+
+class TestPerKindCap:
+    def test_default_cap_is_generous_but_finite(self):
+        assert TraceHealth().max_issues_per_kind == DEFAULT_MAX_ISSUES_PER_KIND
+
+    def test_overflow_stores_one_marker_and_counts_the_rest(self):
+        health = TraceHealth(max_issues_per_kind=5)
+        _flood(health, "truncated-record", 12)
+        stored = [
+            i for i in health.issues if i.kind == "truncated-record"
+        ]
+        assert len(stored) == 5
+        markers = [i for i in health.issues if i.kind == "issues-truncated"]
+        assert len(markers) == 1
+        assert "truncated-record" in markers[0].detail
+        assert health.suppressed == {"truncated-record": 7}
+        # The rollup still reports every occurrence.
+        assert health.by_kind()["truncated-record"] == 12
+
+    def test_suppressed_bytes_still_accounted(self):
+        health = TraceHealth(max_issues_per_kind=2)
+        _flood(health, "truncated-record", 6, bytes_lost=10)
+        assert health.bytes_lost == 60
+
+    def test_summary_reports_suppression(self):
+        health = TraceHealth(max_issues_per_kind=2)
+        _flood(health, "truncated-record", 6)
+        text = health.summary()
+        # 2 stored + 1 truncation marker + 4 suppressed = 7 total.
+        assert "7 issue(s)" in text
+        assert "suppressed past per-kind cap" in text
+
+    def test_marker_inherits_the_trigger_benign_flag(self):
+        health = TraceHealth(max_issues_per_kind=1)
+        _flood(health, "truncated-record", 3, benign=False)
+        (marker,) = [
+            i for i in health.issues if i.kind == "issues-truncated"
+        ]
+        assert not marker.benign
+        assert not health.ok
+
+    def test_none_disables_the_cap(self):
+        health = TraceHealth(max_issues_per_kind=None)
+        _flood(health, "truncated-record", 50)
+        assert len(health.issues) == 50
+        assert health.suppressed == {}
+
+    def test_cap_is_per_kind_not_global(self):
+        health = TraceHealth(max_issues_per_kind=3)
+        _flood(health, "truncated-record", 3)
+        _flood(health, "bad-marker", 3)
+        assert len(health.issues) == 6
+        assert health.suppressed == {}
+
+    def test_strict_mode_raises_before_the_cap(self):
+        health = TraceHealth(strict=True, max_issues_per_kind=1)
+        with pytest.raises(IngestError):
+            health.record(STAGE_PCAP, "truncated-record", benign=False)
+
+    def test_merge_folds_suppression_without_recapping(self):
+        left = TraceHealth(max_issues_per_kind=5)
+        right = TraceHealth(max_issues_per_kind=5)
+        _flood(left, "truncated-record", 4)
+        _flood(right, "truncated-record", 8, bytes_lost=2)
+        left.merge(right)
+        # Merge keeps everything the other ledger stored (5 of 8)
+        # plus its suppressed tally; nothing is re-capped.
+        assert health_kind_total(left, "truncated-record") == 12
+        assert left.suppressed["truncated-record"] == 3
+        assert left.suppressed_bytes_lost == 6
+
+    def test_to_dict_exposes_suppressed(self):
+        health = TraceHealth(max_issues_per_kind=1)
+        _flood(health, "truncated-record", 3)
+        payload = health.to_dict()
+        assert payload["suppressed"] == {"truncated-record": 2}
+
+
+def health_kind_total(health, kind):
+    return health.by_kind()[kind]

@@ -1,0 +1,116 @@
+"""The adversarial stress corpus and its degradation contract."""
+
+from repro.analysis.budget import ResourceBudget
+from repro.analysis.tdat import analyze_pcap
+from repro.faults.fuzz import run_fuzz
+from repro.faults.stress import (
+    ALLOWED_DEGRADATION_KINDS,
+    connection_flood,
+    idle_flows,
+    main,
+    pathological_reorder,
+    run_stress,
+    write_stress_pcap,
+)
+from repro.wire.pcap import PcapReader
+
+
+def _timestamps(records):
+    return [record.timestamp_us for record in records]
+
+
+class TestGenerators:
+    def test_flood_is_sorted_and_deterministic(self):
+        first = list(connection_flood(connections=40))
+        second = list(connection_flood(connections=40))
+        assert _timestamps(first) == sorted(_timestamps(first))
+        assert [r.data for r in first] == [r.data for r in second]
+        # handshake(3) + data/ack pairs(4) + close(3) per connection
+        assert len(first) == 40 * 10
+
+    def test_flood_holds_every_flow_open_at_once(self):
+        records = list(connection_flood(connections=30))
+        report = analyze_pcap(
+            records, budget=ResourceBudget(max_live_connections=60)
+        )
+        assert report.degradation.peak_live_connections == 30
+
+    def test_idle_flows_never_close(self):
+        records = list(idle_flows(connections=20))
+        report = analyze_pcap(records, streaming=True)
+        # No FIN/RST anywhere: every flow survives to the EOF drain.
+        assert len(report) == 20
+        from repro.wire.tcpw import FIN, RST
+
+        for record in records:
+            flags = record.data[14 + 20 + 13]
+            assert not flags & (FIN | RST)
+
+    def test_reorder_is_one_messy_connection(self):
+        records = list(pathological_reorder(segments=120, seed=3))
+        assert _timestamps(records) == sorted(_timestamps(records))
+        report = analyze_pcap(records)
+        assert len(report) == 1
+        assert list(pathological_reorder(segments=120, seed=3))[5].data == records[5].data
+
+    def test_write_stress_pcap_roundtrips(self, tmp_path):
+        path = tmp_path / "flood.pcap"
+        count = write_stress_pcap(
+            path, connection_flood(connections=5)
+        )
+        assert count == 50
+        with PcapReader(str(path)) as reader:
+            assert sum(1 for _ in reader) == 50
+
+
+class TestDegradationContract:
+    def test_corpus_passes_the_contract(self):
+        report = run_stress(connections=200)
+        assert report.ok, report.summary()
+        assert {case.name for case in report.cases} == {
+            "flood-tight", "flood-ample", "idle-tight", "reorder-cap"
+        }
+
+    def test_allowed_kinds_are_all_registered(self):
+        from repro.core.health import ISSUE_KINDS
+
+        assert ALLOWED_DEGRADATION_KINDS <= set(ISSUE_KINDS)
+
+    def test_fuzz_campaign_folds_in_the_stress_corpus(self):
+        report = run_fuzz(seeds=2, stress=True, stress_connections=120)
+        assert report.stress is not None
+        assert report.stress.ok
+        assert report.ok
+        assert "stress:" in report.summary()
+
+    def test_fuzz_without_stress_skips_it(self):
+        report = run_fuzz(seeds=1)
+        assert report.stress is None
+
+
+class TestRssGateDriver:
+    def test_bounded_run_reports_degradation(self, capsys):
+        code = main([
+            "--flood", "120", "--max-live-connections", "16", "--json",
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["degradation"]["degraded"] is True
+        assert payload["degradation"]["peak_live_connections"] <= 16
+        assert payload["peak_rss_mb"] > 0
+
+    def test_ceiling_breach_fails(self, capsys):
+        # Any real process dwarfs a 1 MiB ceiling: the gate must bite.
+        code = main([
+            "--flood", "40", "--max-live-connections", "8",
+            "--rss-ceiling-mb", "1",
+        ])
+        assert code == 1
+        assert "exceeds ceiling" in capsys.readouterr().err
+
+    def test_unmet_floor_fails(self, capsys):
+        code = main(["--flood", "40", "--rss-floor-mb", "100000"])
+        assert code == 1
+        assert "did not exceed" in capsys.readouterr().err

@@ -177,6 +177,73 @@ class TestSupervision:
         # The numeric contract the table and CI scripts rely on.
         assert (EXIT_OK, EXIT_NOTHING, EXIT_ERROR, EXIT_ISSUES,
                 EXIT_INTERRUPTED) == (0, 1, 2, 3, 4)
+        assert tdat_cli.EXIT_DEGRADED == 6
+
+
+@pytest.fixture(scope="module")
+def flood_pcap(tmp_path_factory):
+    from repro.faults.stress import connection_flood, write_stress_pcap
+
+    path = tmp_path_factory.mktemp("tdat-budget") / "flood.pcap"
+    write_stress_pcap(path, connection_flood(connections=80))
+    return path
+
+
+class TestBudgetFlags:
+    def test_tight_budget_exits_degraded(self, flood_pcap, capsys):
+        rc = main([
+            "analyze", str(flood_pcap), "--json",
+            "--max-live-connections", "12",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == tdat_cli.EXIT_DEGRADED
+        degradation = payload["degradation"]
+        assert degradation["degraded"] is True
+        assert degradation["peak_live_connections"] <= 12
+        # Degradation is noisy but benign: exit 6, not exit 3.
+        assert all(issue["benign"] for issue in payload["health"]["issues"])
+
+    def test_ample_budget_exits_clean(self, flood_pcap, capsys):
+        rc = main([
+            "analyze", str(flood_pcap), "--json",
+            "--max-live-connections", "200",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == EXIT_OK
+        assert payload["degradation"]["degraded"] is False
+
+    def test_connection_packet_cap_flag(self, flood_pcap, capsys):
+        # Cap 6 admits the handshake plus both data segments, so the
+        # capped flows stay above the analyzable-data floor.
+        rc = main([
+            "analyze", str(flood_pcap), "--json",
+            "--max-connection-packets", "6",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == tdat_cli.EXIT_DEGRADED
+        assert payload["degradation"]["packets_shed"] > 0
+        # Partial-result semantics surface per connection.
+        assert any(
+            conn["complete"] is False and conn["confidence"] == "reduced"
+            for conn in payload["connections"]
+        )
+
+    def test_unbudgeted_json_has_no_degradation_key(self, flood_pcap, capsys):
+        rc = main(["analyze", str(flood_pcap), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == EXIT_OK
+        assert "degradation" not in payload
+        assert all(conn["complete"] for conn in payload["connections"])
+
+    def test_help_documents_the_degraded_exit(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "resource budget shed state" in out
+        assert "--max-live-connections" in out
+        assert "--max-state-bytes" in out
+        assert "--max-connection-packets" in out
 
 
 class TestObservability:
