@@ -28,6 +28,8 @@ signatures will not churn.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, BinaryIO, Iterator
@@ -130,6 +132,28 @@ class CampaignRequest:
 
 
 @dataclass
+class ServeRequest:
+    """Run the analysis service (:mod:`repro.serve`).
+
+    ``port=0`` binds an ephemeral port (the server's ``port`` attribute
+    holds the real one after startup).  ``budget``/``strict`` default
+    to the pipeline's own knobs and become the default for every
+    session the server creates; a client can still override both per
+    session in ``POST /sessions``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    max_sessions: int = 64
+    sniffer_location: str = SNIFFER_AT_RECEIVER
+    min_data_packets: int = 2
+    strict: bool | None = None  # None → inherit from the Pipeline
+    budget: ResourceBudget | None = None
+    trace_requests: bool = False
+    drain_timeout: float = 30.0
+
+
+@dataclass
 class Pipeline:
     """Execution context shared by every request run through it.
 
@@ -174,6 +198,10 @@ class Pipeline:
     checkpoint_dir: str | Path | None = None
     obs: Observability | bool | None = None
     _pool: WorkPool | None = field(default=None, repr=False, compare=False)
+    _pool_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    _pool_leased: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.workers == 0:
@@ -185,9 +213,10 @@ class Pipeline:
 
     @property
     def pool(self) -> WorkPool:
-        if self._pool is None:
-            self._pool = self._make_pool(self.workers)
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._make_pool(self.workers)
+            return self._pool
 
     def _make_pool(self, workers: int) -> WorkPool:
         return WorkPool(
@@ -195,6 +224,36 @@ class Pipeline:
             task_timeout=self.task_timeout,
             max_retries=self.max_retries,
         )
+
+    @contextmanager
+    def _lease_pool(self, workers: int):
+        """Check the shared pool out for one request.
+
+        A :class:`~repro.exec.pool.WorkPool` supervises one ``map`` at
+        a time — its per-map stats and worker bookkeeping are not
+        reentrant — so the lazily-built shared pool must never be
+        handed to two overlapping requests.  The first concurrent
+        caller (and any request overriding ``workers``) leases the
+        shared pool; everyone who finds it already leased gets a
+        private pool for the duration of the call instead of racing
+        one supervisor.  This is what lets server-driven analyses and
+        direct ``analyze()`` calls overlap safely on one pipeline.
+        """
+        with self._pool_lock:
+            shared = workers == self.workers and not self._pool_leased
+            if shared:
+                self._pool_leased = True
+                if self._pool is None:
+                    self._pool = self._make_pool(self.workers)
+                pool = self._pool
+        if not shared:
+            pool = self._make_pool(workers)
+        try:
+            yield pool
+        finally:
+            if shared:
+                with self._pool_lock:
+                    self._pool_leased = False
 
     # ------------------------------------------------------------------ #
     # Analysis                                                           #
@@ -243,6 +302,60 @@ class Pipeline:
         )
 
     # ------------------------------------------------------------------ #
+    # The analysis service                                               #
+    # ------------------------------------------------------------------ #
+    def build_server(self, request: ServeRequest | None = None, **knobs):
+        """Construct (but do not run) an analysis service.
+
+        The returned :class:`~repro.serve.AnalysisServer` hosts
+        sessions whose defaults come from this pipeline (budget,
+        strict, series backend); callers drive it themselves —
+        ``await server.serve()`` inside a loop, or ``server.run()``
+        to block.  The pipeline's observability context (or, absent
+        one, a metrics-only server context backing ``/metrics``) is
+        ambient while the server runs, so every session thread
+        records into it.
+        """
+        from repro.serve import AnalysisServer, SessionManager
+        from repro.serve.http import server_observability
+
+        if request is None:
+            request = ServeRequest(**knobs)
+        elif knobs:
+            request = replace(request, **knobs)
+        obs = self.obs or server_observability()
+        manager = SessionManager(
+            max_sessions=request.max_sessions,
+            budget=self._knob(request.budget, self.budget),
+            sniffer_location=request.sniffer_location,
+            min_data_packets=request.min_data_packets,
+            strict=self._knob(request.strict, self.strict),
+            series_backend=self.series_backend,
+        )
+        return AnalysisServer(
+            manager,
+            host=request.host,
+            port=request.port,
+            obs=obs,
+            trace_requests=request.trace_requests,
+            drain_timeout=request.drain_timeout,
+        )
+
+    def serve(
+        self,
+        request: ServeRequest | None = None,
+        on_ready=None,
+        **knobs,
+    ) -> bool:
+        """Run the analysis service until it drains; blocking.
+
+        Returns ``True`` when the drain was initiated by a signal
+        (``tdat serve`` maps that to exit code 7), ``False`` for a
+        programmatic ``POST /shutdown``.
+        """
+        return self.build_server(request, **knobs).run(on_ready=on_ready)
+
+    # ------------------------------------------------------------------ #
     # Campaigns                                                          #
     # ------------------------------------------------------------------ #
     def campaign(
@@ -260,7 +373,7 @@ class Pipeline:
     # ------------------------------------------------------------------ #
     # Dispatch                                                           #
     # ------------------------------------------------------------------ #
-    def run(self, request: AnalysisRequest | CampaignRequest):
+    def run(self, request: AnalysisRequest | CampaignRequest | ServeRequest):
         """Execute a request built elsewhere (CLI, benchmarks, tests).
 
         The pipeline's observability context (if any) is ambient for
@@ -270,24 +383,27 @@ class Pipeline:
         with use_obs(self.obs or None):
             if isinstance(request, AnalysisRequest):
                 workers = self._knob(request.workers, self.workers)
-                return analyze_pcap(
-                    request.source,
-                    sniffer_location=request.sniffer_location,
-                    windows=request.windows,
-                    config=request.config,
-                    min_data_packets=request.min_data_packets,
-                    strict=self._knob(request.strict, self.strict),
-                    streaming=self._knob(request.streaming, self.streaming),
-                    pool=self.pool if workers == self.workers else self._make_pool(workers),
-                    mmap=self._knob(request.mmap, self.mmap),
-                    decode_batch=self._knob(
-                        request.decode_batch, self.decode_batch
-                    ),
-                    series_backend=self._knob(
-                        request.series_backend, self.series_backend
-                    ),
-                    budget=self._knob(request.budget, self.budget),
-                )
+                with self._lease_pool(workers) as pool:
+                    return analyze_pcap(
+                        request.source,
+                        sniffer_location=request.sniffer_location,
+                        windows=request.windows,
+                        config=request.config,
+                        min_data_packets=request.min_data_packets,
+                        strict=self._knob(request.strict, self.strict),
+                        streaming=self._knob(
+                            request.streaming, self.streaming
+                        ),
+                        pool=pool,
+                        mmap=self._knob(request.mmap, self.mmap),
+                        decode_batch=self._knob(
+                            request.decode_batch, self.decode_batch
+                        ),
+                        series_backend=self._knob(
+                            request.series_backend, self.series_backend
+                        ),
+                        budget=self._knob(request.budget, self.budget),
+                    )
             if isinstance(request, CampaignRequest):
                 if request.seed is None and self.seed is not None:
                     request = replace(request, seed=self.seed)
@@ -295,13 +411,16 @@ class Pipeline:
                 checkpoint_dir = self._knob(
                     request.checkpoint_dir, self.checkpoint_dir
                 )
-                return run_campaign(
-                    request.resolve(),
-                    strict=self._knob(request.strict, self.strict),
-                    pool=self.pool if workers == self.workers else self._make_pool(workers),
-                    checkpoint_dir=checkpoint_dir,
-                    resume_from=checkpoint_dir if request.resume else None,
-                )
+                with self._lease_pool(workers) as pool:
+                    return run_campaign(
+                        request.resolve(),
+                        strict=self._knob(request.strict, self.strict),
+                        pool=pool,
+                        checkpoint_dir=checkpoint_dir,
+                        resume_from=checkpoint_dir if request.resume else None,
+                    )
+            if isinstance(request, ServeRequest):
+                return self.serve(request)
         raise TypeError(f"not a pipeline request: {request!r}")
 
     @staticmethod
@@ -312,6 +431,7 @@ class Pipeline:
 __all__ = [
     "AnalysisRequest",
     "CampaignRequest",
+    "ServeRequest",
     "Pipeline",
     "TdatReport",
     "CampaignResult",

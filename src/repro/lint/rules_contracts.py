@@ -432,6 +432,20 @@ _BACKTICK_RE = re.compile(r"`([^`\n]+)`")
 #: public telemetry surface the catalog documents.
 _OBS_EXEMPT = ("repro.obs", "repro.lint")
 
+#: name prefixes reconciled in the reverse direction too: a cataloged
+#: name under one of these namespaces that no code records is a stale
+#: row.  The service namespace starts strict; older namespaces predate
+#: the reverse check and keep catalog-only latitude (prose rows like
+#: the pool's grouped counters defeat exact matching).
+_OBS_STRICT_PREFIXES = ("serve.",)
+
+#: module anchoring reverse-direction findings for ``serve.*`` names.
+_SERVE_MODULES = ("repro.serve.http", "repro.serve.session", "repro.serve")
+
+#: what a concrete recordable obs name looks like; catalog prose that
+#: backticks a glob or a phrase is not held to the reverse check.
+_OBS_NAME_RE = re.compile(r"[a-z0-9_]+(\.[a-z0-9_]+)+")
+
 
 @register_rule
 class ObsNameCataloged(Rule):
@@ -481,6 +495,38 @@ class ObsNameCataloged(Rule):
                     f"{OBS_CATALOG}; add it (backticked) with its unit "
                     f"and meaning",
                 )
+        # Reverse direction for the strict namespaces: a cataloged
+        # name no code records is a dashboard documenting telemetry
+        # that does not exist.
+        recorded = {
+            name for _, name, _, _, is_prefix in uses if not is_prefix
+        }
+        dynamic_prefixes = {
+            name for _, name, _, _, is_prefix in uses if is_prefix and name
+        }
+        anchor = next(
+            (
+                module
+                for candidate in _SERVE_MODULES
+                if (module := project.modules.get(candidate)) is not None
+            ),
+            uses[0][0],
+        )
+        for token in sorted(tokens):
+            if not token.startswith(_OBS_STRICT_PREFIXES):
+                continue
+            if not _OBS_NAME_RE.fullmatch(token):
+                continue  # prose like a `serve.*` glob, not a name
+            if token in recorded:
+                continue
+            if any(token.startswith(p) for p in dynamic_prefixes):
+                continue
+            yield self.finding(
+                anchor, 1, 0,
+                f"obs name '{token}' is cataloged in {OBS_CATALOG} but "
+                f"never recorded by the code; record it or remove the "
+                f"stale catalog row",
+            )
 
     @staticmethod
     def _obs_names(

@@ -43,6 +43,7 @@ import argparse
 import json
 import sys
 
+from repro.analysis.render import analysis_to_dict, report_payload
 from repro.analysis.series import (
     SNIFFER_AT_RECEIVER,
     SNIFFER_AT_SENDER,
@@ -74,6 +75,7 @@ EXIT_ISSUES = 3
 EXIT_INTERRUPTED = 4
 EXIT_REGRESSION = 5
 EXIT_DEGRADED = 6
+EXIT_DRAINED = 7
 
 #: the one exit-code contract every subcommand shares; rendered
 #: verbatim into ``--help`` so the table cannot drift from the code.
@@ -85,7 +87,8 @@ exit codes:
   3  success, but tolerant ingest recorded non-benign issues
   4  interrupted; completed episodes checkpointed, re-run with --resume
   5  benchmark gate failed (tdat bench: speedup, overhead or regression)
-  6  completed, but the resource budget shed state (degraded analysis)\
+  6  completed, but the resource budget shed state (degraded analysis)
+  7  server drained on signal (tdat serve: in-flight sessions flushed)\
 """
 
 SUBCOMMANDS = (
@@ -95,6 +98,7 @@ SUBCOMMANDS = (
     "chaos",
     "fuzz",
     "report",
+    "serve",
     "stats",
     "anonymize",
     "lint",
@@ -283,6 +287,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _configure_bench_parser(p)
     p.set_defaults(handler=_cmd_bench)
+
+    p = add_parser(
+        "serve",
+        help="run the analysis service (long-running sessions over HTTP)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8321,
+        help="bind port; 0 picks an ephemeral port (default: 8321)",
+    )
+    p.add_argument(
+        "--max-sessions", type=int, default=64, metavar="N",
+        help="most concurrently live sessions (default: 64)",
+    )
+    p.add_argument(
+        "--sniffer-location",
+        choices=_LOCATIONS,
+        default=SNIFFER_AT_RECEIVER,
+        help="default capture vantage for new sessions "
+        "(default: receiver; clients can override per session)",
+    )
+    p.add_argument(
+        "--max-live-connections", type=int, default=None, metavar="N",
+        help="default session budget: evict past N live connections",
+    )
+    p.add_argument(
+        "--max-state-bytes", type=int, default=None, metavar="B",
+        help="default session budget: cap tracked state at B bytes",
+    )
+    p.add_argument(
+        "--max-connection-packets", type=int, default=None, metavar="N",
+        help="default session budget: cap one connection at N packets",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="seconds a graceful drain waits for sessions (default: 30)",
+    )
+    p.add_argument(
+        "--trace-requests", action="store_true",
+        help="record a serve.request span per request (unbounded "
+        "tracer growth; for short diagnostic runs)",
+    )
+    _execution_options(p)
+    p.set_defaults(handler=_cmd_serve)
 
     p = add_parser(
         "report", help="run campaigns and render the survey tables"
@@ -481,13 +532,7 @@ def _cmd_analyze(args) -> int:
         _status(args, "no analyzable TCP connections found")
         return EXIT_DEGRADED if degraded and not failed else EXIT_NOTHING
     if args.json:
-        payload = {
-            "connections": [_analysis_to_dict(a) for a in report],
-            "health": report.health.to_dict(),
-        }
-        if report.degradation is not None:
-            payload["degradation"] = report.degradation.to_dict()
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(report_payload(report), indent=2))
     else:
         for analysis in report:
             print(bgplot.render_analysis(analysis, width=args.width))
@@ -555,6 +600,41 @@ def _cmd_campaign(args) -> int:
     if not result.records:
         return EXIT_NOTHING
     return EXIT_ISSUES if failed else EXIT_OK
+
+
+def _cmd_serve(args) -> int:
+    """Run the analysis service until it drains.
+
+    Startup failures (port in use, unresolvable bind address) raise
+    ``OSError`` out of the bind, which the shared ``_guarded_call``
+    discipline turns into a one-line stderr error and exit code 2 —
+    never a traceback.
+    """
+    from repro.api import ServeRequest
+
+    obs = _make_obs(args)
+    pipe = Pipeline(
+        strict=args.strict, obs=obs, budget=_budget_from_args(args),
+    )
+    request = ServeRequest(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        sniffer_location=args.sniffer_location,
+        trace_requests=args.trace_requests,
+        drain_timeout=args.drain_timeout,
+    )
+    drained_on_signal = pipe.serve(
+        request,
+        on_ready=lambda host, port: _status(
+            args, f"tdat serve: listening on http://{host}:{port}"
+        ),
+    )
+    _write_obs(args, obs)
+    if drained_on_signal:
+        _status(args, "tdat serve: drained on signal")
+        return EXIT_DRAINED
+    return EXIT_OK
 
 
 def _cmd_report(args) -> int:
@@ -732,55 +812,10 @@ def _cmd_lint(args) -> int:
     return _run_lint(args)
 
 
-def _analysis_to_dict(analysis) -> dict:
-    """Flatten one connection's analysis for JSON output."""
-    profile = analysis.connection.profile
-    src, sport, dst, dport = analysis.connection.key
-    rs, rr, rn = analysis.factors.group_vector
-    return {
-        "connection": f"{src}:{sport}<->{dst}:{dport}",
-        "sender": analysis.connection.sender_ip,
-        "complete": analysis.complete,
-        "confidence": analysis.confidence,
-        "profile": {
-            "mss": profile.mss,
-            "rtt_us": profile.rtt_us,
-            "d1_us": profile.d1_us,
-            "d2_us": profile.d2_us,
-            "max_advertised_window": profile.max_advertised_window,
-            "data_packets": profile.total_data_packets,
-            "data_bytes": profile.total_data_bytes,
-            "duration_us": profile.duration_us,
-        },
-        "retransmissions": len(analysis.labeling.retransmissions()),
-        "factors": {
-            "ratios": analysis.factors.ratios,
-            "groups": {"sender": rs, "receiver": rr, "network": rn},
-            "major": analysis.factors.major_factors(),
-        },
-        "detectors": {
-            "timer_gaps": {
-                "detected": analysis.timer_gaps.detected,
-                "timer_us": analysis.timer_gaps.timer_us,
-                "induced_delay_us": analysis.timer_gaps.induced_delay_us,
-            },
-            "consecutive_losses": {
-                "detected": analysis.consecutive_losses.detected,
-                "episodes": analysis.consecutive_losses.episodes,
-                "worst_run": analysis.consecutive_losses.worst_run,
-                "induced_delay_us": analysis.consecutive_losses.induced_delay_us,
-            },
-            "zero_ack_bug": {
-                "detected": analysis.zero_ack_bug.detected,
-                "occurrences": analysis.zero_ack_bug.occurrences,
-            },
-            "capture_voids": {
-                "detected": analysis.capture_voids.detected,
-                "phantom_bytes": analysis.capture_voids.phantom_bytes,
-                "excluded_us": analysis.capture_voids.excluded_us,
-            },
-        },
-    }
+# The JSON flattening moved to repro.analysis.render so the analysis
+# service shares it; the old private name stays importable for the
+# benchmark harness and differential tests that compare shapes.
+_analysis_to_dict = analysis_to_dict
 
 
 if __name__ == "__main__":

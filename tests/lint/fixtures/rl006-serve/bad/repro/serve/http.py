@@ -1,0 +1,2 @@
+def handle(obs):
+    obs.metrics.counter("serve.requests").inc()

@@ -1,0 +1,4 @@
+def handle(obs, sid):
+    obs.metrics.counter("serve.requests").inc()
+    obs.metrics.gauge("serve.active_sessions").set(1)
+    obs.metrics.counter(f"serve.session.{sid}").inc()

@@ -139,6 +139,25 @@ class TestRL006:
         result = lint_fixture("rl006/good", select=["RL006"])
         assert result.findings == []
 
+    def test_stale_serve_catalog_row_is_flagged(self):
+        # Reverse direction: a cataloged serve.* name no code records
+        # is a stale row, anchored at the service module.
+        result = lint_fixture("rl006-serve/bad", select=["RL006"])
+        assert locations(result) == [
+            ("RL006", "repro/serve/http.py", 1),
+        ]
+        assert "'serve.stale_gauge'" in result.findings[0].message
+        assert "never recorded" in result.findings[0].message
+
+    def test_serve_reverse_direction_tolerates_prose_and_prefixes(self):
+        # The good twin catalogs a `serve.*` glob (prose), a name
+        # covered by a recorded dynamic prefix, and a stale row in a
+        # legacy namespace — none of which the reverse check flags.
+        result = lint_fixture("rl006-serve/good")
+        assert result.findings == [], [
+            f.render() for f in result.findings
+        ]
+
 
 class TestRL007:
     def test_unregistered_stale_and_uncataloged_points(self):

@@ -1,0 +1,113 @@
+"""Shared machinery for the analysis-service tests.
+
+``running_server`` boots a real :class:`~repro.serve.AnalysisServer`
+on an ephemeral port in a background thread and hands the test a tiny
+HTTP client over ``http.client`` (no request-level magic — tests see
+raw status codes, headers and bodies, including ``304``).
+``flood_bytes`` renders a deterministic multi-connection capture to
+pcap bytes for upload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from contextlib import contextmanager
+
+from repro.api import Pipeline, ServeRequest
+from repro.faults.stress import connection_flood
+from repro.wire.pcap import records_to_bytes
+
+
+def flood_bytes(
+    connections: int = 8, data_packets: int = 4, payload_bytes: int = 400
+) -> bytes:
+    """A deterministic clean capture with ``connections`` parallel flows."""
+    return records_to_bytes(
+        connection_flood(connections, data_packets, payload_bytes)
+    )
+
+
+class ServeClient:
+    """A plain HTTP/1.1 client bound to one running test server."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: dict | None = None,
+    ) -> tuple[int, dict, bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            payload = response.read()
+            return response.status, dict(response.getheaders()), payload
+        finally:
+            conn.close()
+
+    def json(self, method: str, path: str, body: bytes | None = None):
+        status, _, payload = self.request(method, path, body)
+        return status, json.loads(payload)
+
+    # ------------------------------------------------------------------
+    # The common session choreography
+    # ------------------------------------------------------------------
+    def create_session(self, spec: dict | None = None) -> str:
+        body = json.dumps(spec).encode() if spec is not None else None
+        status, payload = self.json("POST", "/sessions", body)
+        assert status == 201, payload
+        return payload["id"]
+
+    def upload(self, session_id: str, data: bytes, chunk: int = 8192) -> None:
+        for i in range(0, len(data), chunk):
+            status, _, _ = self.request(
+                "POST", f"/sessions/{session_id}/pcap", data[i : i + chunk]
+            )
+            assert status == 202
+        status, payload = self.json(
+            "POST", f"/sessions/{session_id}/finish?wait=1"
+        )
+        assert status == 200, payload
+        assert payload["state"] in ("done", "failed"), payload
+
+
+@contextmanager
+def running_server(pipeline: Pipeline | None = None, **serve_knobs):
+    """Boot a server on an ephemeral port; yields a :class:`ServeClient`."""
+    pipeline = pipeline if pipeline is not None else Pipeline()
+    request = ServeRequest(port=0, **serve_knobs)
+    server = pipeline.build_server(request)
+    ready = threading.Event()
+    outcome: dict = {}
+
+    def run() -> None:
+        try:
+            outcome["drained"] = server.run(
+                on_ready=lambda host, port: ready.set()
+            )
+        except BaseException as exc:  # surfaced by the context manager
+            outcome["error"] = exc
+            ready.set()
+
+    thread = threading.Thread(target=run, name="test-serve", daemon=True)
+    thread.start()
+    assert ready.wait(10), "server did not start"
+    if "error" in outcome:
+        raise outcome["error"]
+    client = ServeClient(server.host, server.port)
+    client.server = server
+    try:
+        yield client
+    finally:
+        server.request_shutdown()
+        thread.join(30)
+        if "error" in outcome:
+            raise outcome["error"]
+        assert not thread.is_alive(), "server failed to drain"

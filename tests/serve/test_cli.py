@@ -1,0 +1,79 @@
+"""``tdat serve``: startup errors are one-liners, signals drain cleanly."""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.tools import tdat_cli
+
+
+@pytest.fixture()
+def occupied_port():
+    """A TCP port some other process (this test) is already bound to."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(1)
+    try:
+        yield sock.getsockname()[1]
+    finally:
+        sock.close()
+
+
+class TestStartupErrors:
+    def test_port_in_use_is_a_one_line_error(self, occupied_port, capsys):
+        rc = tdat_cli.main(["serve", "--port", str(occupied_port)])
+        captured = capsys.readouterr()
+        assert rc == tdat_cli.EXIT_ERROR
+        assert captured.err.count("\n") == 1
+        assert "error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bad_bind_address_is_a_one_line_error(self, capsys):
+        rc = tdat_cli.main(
+            ["serve", "--host", "203.0.113.213", "--port", "0"]
+        )
+        captured = capsys.readouterr()
+        assert rc == tdat_cli.EXIT_ERROR
+        assert captured.err.count("\n") == 1
+        assert "error:" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestSignalDrain:
+    def test_sigterm_drains_and_exits_with_the_drained_code(self, tmp_path):
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.tools.tdat_cli",
+                "serve", "--port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            line = proc.stderr.readline()
+            assert "listening on http://" in line, line
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+        assert rc == tdat_cli.EXIT_DRAINED
+
+    def test_help_lists_the_drained_exit_code(self, capsys):
+        with pytest.raises(SystemExit):
+            tdat_cli.main(["--help"])
+        out = capsys.readouterr().out
+        assert "server drained on signal" in out
