@@ -197,11 +197,15 @@ class Pipeline:
     max_retries: int = 0
     checkpoint_dir: str | Path | None = None
     obs: Observability | bool | None = None
-    _pool: WorkPool | None = field(default=None, repr=False, compare=False)
+    _pool: WorkPool | None = field(  # guarded-by: _pool_lock
+        default=None, repr=False, compare=False
+    )
     _pool_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
-    _pool_leased: bool = field(default=False, repr=False, compare=False)
+    _pool_leased: bool = field(  # guarded-by: _pool_lock
+        default=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.workers == 0:

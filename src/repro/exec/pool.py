@@ -315,6 +315,11 @@ def _worker_main(
         pass
     finally:
         stop_beats.set()
+        if beater is not None:
+            # The beat loop wakes immediately once stop_beats is set;
+            # the timeout only bounds a beater wedged mid-send on a
+            # full pipe whose reader died.
+            beater.join(timeout=1.0)
         try:
             conn.close()
         except OSError:

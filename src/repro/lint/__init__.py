@@ -31,7 +31,20 @@ ruleset encoding the repo's contracts:
   in the ``docs/observability.md`` catalog;
 * **RL007** — chaos injection points (``POINT_*`` constants at the
   seams) match the ``INJECTION_POINTS`` registry in
-  ``repro.chaos.plan`` and the ``docs/robustness.md`` catalog.
+  ``repro.chaos.plan`` and the ``docs/robustness.md`` catalog;
+* **RL008** — no blocking call (sleep, sync I/O, subprocess, un-timed
+  wait/join/acquire) reachable from an ``async def`` body in
+  ``repro.serve``, with ``run_in_executor``/``to_thread`` boundaries
+  allowlisted (effect-inference over the call graph);
+* **RL009** — every access to a ``# guarded-by: <lock-attr>``
+  annotated attribute comes from a method whose effect set acquires
+  that lock;
+* **RL010** — allocations in the long-running modules (``repro.serve``,
+  ``repro.exec``, ``repro.workloads.checkpoint``) are dominated by
+  ``with`` or released in a ``finally`` block;
+* **RL011** — the project-wide acquires-while-holding lock graph is
+  acyclic (a cycle is a potential deadlock, reported with both
+  witness chains).
 
 Run it as ``tdat lint`` or ``python -m repro.lint``; see
 ``docs/static-analysis.md`` for the rule catalog and how to add a
@@ -71,6 +84,7 @@ def __getattr__(name: str):
     # Importing the rule modules registers the ruleset.
     importlib.import_module("repro.lint.rules_contracts")
     importlib.import_module("repro.lint.rules_determinism")
+    importlib.import_module("repro.lint.rules_concurrency")
     for export, module_name in _EXPORTS.items():
         globals()[export] = getattr(
             importlib.import_module(module_name), export

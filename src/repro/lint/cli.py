@@ -40,7 +40,18 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--json", action="store_true",
-        help="emit machine-readable JSON instead of text",
+        help="emit machine-readable JSON instead of text "
+        "(alias for --format json)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default=None,
+        help="output format (default: text; sarif is SARIF 2.1.0 for "
+        "code-host inline annotations)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse project files over N worker processes; findings "
+        "are byte-identical to --jobs 1 (default: 1)",
     )
     parser.add_argument(
         "--baseline", metavar="FILE",
@@ -96,7 +107,7 @@ def run_with_args(args: argparse.Namespace) -> int:
     try:
         root = _resolve_root(args)
         paths = [Path(p) for p in args.paths] or [_default_target(root)]
-        project = Project.load(root, paths)
+        project = Project.load(root, paths, jobs=max(1, args.jobs))
     except (ProjectError, FileNotFoundError) as exc:
         print(f"repro.lint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -131,11 +142,16 @@ def run_with_args(args: argparse.Namespace) -> int:
         )
         return EXIT_CLEAN
 
-    if args.json:
+    output_format = args.format or ("json" if args.json else "text")
+    if output_format == "json":
         payload = result.to_dict()
         payload["root"] = str(root)
         payload["files"] = len(project.files)
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif output_format == "sarif":
+        from repro.lint.sarif import render_sarif
+
+        sys.stdout.write(render_sarif(result, str(root)))
     else:
         for finding in result.findings:
             print(finding.render())

@@ -74,7 +74,10 @@ class Project:
 
     @classmethod
     def load(
-        cls, root: Path | str, paths: Iterable[Path | str] | None = None
+        cls,
+        root: Path | str,
+        paths: Iterable[Path | str] | None = None,
+        jobs: int = 1,
     ) -> "Project":
         """Parse every ``*.py`` under ``paths`` (default: the root).
 
@@ -82,40 +85,46 @@ class Project:
         artifacts (``docs/observability.md``).  A file that does not
         parse raises :class:`ProjectError` — the lint target is
         expected to be syntactically valid code.
+
+        ``jobs > 1`` parses files in parallel over a
+        :class:`~repro.exec.pool.WorkPool`.  Outcomes come back in
+        submission order, so the resulting project — and every finding
+        computed from it — is byte-identical to a serial load.
         """
         root = Path(root).resolve()
         if paths is None:
             paths = [root]
         project = cls(root=root)
+        targets: list[Path] = []
         for path in paths:
             path = Path(path)
             if not path.is_absolute():
                 path = root / path
             if not path.exists():
                 raise ProjectError(f"no such lint target: {path}")
-            for file_path in sorted(_iter_python_files(path)):
-                project._add_file(file_path)
+            targets.extend(sorted(_iter_python_files(path)))
+        if jobs > 1 and len(targets) > 1:
+            project._load_parallel(targets, jobs)
+        else:
+            for file_path in targets:
+                project._ingest(_parse_file(file_path, root))
         return project
 
-    def _add_file(self, path: Path) -> None:
-        path = path.resolve()
-        text = path.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(text, filename=str(path))
-        except SyntaxError as exc:
-            raise ProjectError(f"{path}: does not parse: {exc}") from exc
-        try:
-            relpath = path.relative_to(self.root).as_posix()
-        except ValueError:
-            relpath = path.as_posix()
-        source = SourceFile(
-            path=path,
-            relpath=relpath,
-            module=module_name_for(path),
-            text=text,
-            tree=tree,
-            lines=text.splitlines(),
+    def _load_parallel(self, targets: list[Path], jobs: int) -> None:
+        # Imported lazily: the serial path (and `tdat --help`) must not
+        # pay for the executor machinery.
+        from repro.exec.pool import WorkPool
+
+        pool = WorkPool(workers=min(jobs, len(targets)))
+        outcomes = pool.map(
+            _parse_task, [(str(p), str(self.root)) for p in targets]
         )
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise ProjectError(str(outcome.error))
+            self._ingest(outcome.value)
+
+    def _ingest(self, source: SourceFile) -> None:
         self.files.append(source)
         self.modules[source.module] = source
 
@@ -128,6 +137,32 @@ class Project:
     def artifact(self, relpath: str) -> Path:
         """A project-level artifact path (docs, baseline), root-relative."""
         return self.root / relpath
+
+
+def _parse_file(path: Path, root: Path) -> SourceFile:
+    path = path.resolve()
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        raise ProjectError(f"{path}: does not parse: {exc}") from exc
+    try:
+        relpath = path.relative_to(root).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    return SourceFile(
+        path=path,
+        relpath=relpath,
+        module=module_name_for(path),
+        text=text,
+        tree=tree,
+        lines=text.splitlines(),
+    )
+
+
+def _parse_task(spec: tuple[str, str]) -> SourceFile:
+    """Pool task: parse one file (module-level, hence picklable)."""
+    return _parse_file(Path(spec[0]), Path(spec[1]))
 
 
 def _iter_python_files(path: Path) -> Iterator[Path]:

@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 output for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code
+hosts ingest for inline annotations: upload the file from CI and each
+finding renders on its line in the diff view.  The document here is
+the minimal valid subset — one run, the full rule catalog under
+``tool.driver`` (so rule metadata shows in the UI even for rules with
+no findings), one ``result`` per finding — and is rendered
+deterministically (sorted keys, two-space indent) so byte-identical
+findings give byte-identical reports.
+
+Only *new* findings become results: suppressed and baselined findings
+are exactly the ones a gate must not re-announce, same as the text
+and JSON formats.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import RULES, Finding, LintResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: lint severities map 1:1 onto SARIF levels.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule_id: str) -> dict:
+    rule = RULES[rule_id]
+    return {
+        "id": rule.id,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")
+        },
+    }
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; ast's are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult, root: str) -> str:
+    """The run as a SARIF 2.1.0 document (deterministic bytes)."""
+    rule_ids = sorted(set(RULES) | {f.rule for f in result.findings})
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "rules": [
+                            _rule_descriptor(rule_id)
+                            if rule_id in RULES
+                            else {"id": rule_id}
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": f"file://{root}/"}},
+                "results": [_result(f) for f in result.findings],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif"]

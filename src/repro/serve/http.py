@@ -43,6 +43,7 @@ import asyncio
 import json
 import signal
 import time
+from typing import Any, Callable
 
 from repro.analysis.budget import ResourceBudget
 from repro.obs import Observability, get_obs, use_obs
@@ -92,7 +93,15 @@ class _Request:
 
     __slots__ = ("method", "path", "query", "headers", "body", "keep_alive")
 
-    def __init__(self, method, path, query, headers, body, keep_alive):
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str],
+        headers: dict[str, str],
+        body: bytes,
+        keep_alive: bool,
+    ) -> None:
         self.method = method
         self.path = path
         self.query = query
@@ -194,7 +203,7 @@ class AnalysisServer:
         self._installed_obs = obs
         self._obs = obs if obs is not None else get_obs()
         self._trace_requests = trace_requests
-        self._server: asyncio.base_events.Server | None = None
+        self._server: asyncio.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._drain_requested: asyncio.Event | None = None
         self._hard_stop = False
@@ -248,7 +257,9 @@ class AnalysisServer:
         self._signaled = True
         self.request_shutdown()
 
-    async def serve(self, on_ready=None) -> bool:
+    async def serve(
+        self, on_ready: Callable[[str, int], None] | None = None
+    ) -> bool:
         """Bind, announce, serve until a drain is requested.
 
         Returns ``True`` when the drain was initiated by a signal (the
@@ -277,7 +288,9 @@ class AnalysisServer:
                 loop.remove_signal_handler(signum)
         return self._signaled
 
-    def run(self, on_ready=None) -> bool:
+    def run(
+        self, on_ready: Callable[[str, int], None] | None = None
+    ) -> bool:
         """Blocking entry point; returns :meth:`serve`'s drained-by-signal flag.
 
         Bind failures (port in use, bad address) surface as ``OSError``
@@ -289,7 +302,11 @@ class AnalysisServer:
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
-    async def _handle_connection(self, reader, writer) -> None:
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
         try:
             while True:
                 try:
@@ -313,7 +330,9 @@ class AnalysisServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _dispatch_and_respond(self, writer, request) -> int | None:
+    async def _dispatch_and_respond(
+        self, writer: asyncio.StreamWriter, request: _Request
+    ) -> int | None:
         started = time.monotonic()
         try:
             if self._trace_requests:
@@ -343,7 +362,12 @@ class AnalysisServer:
         return status
 
     async def _respond(
-        self, writer, status: int, *, body: bytes = b"", headers=None
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        *,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
     ) -> None:
         reason = _REASONS.get(status, "Unknown")
         lines = [f"HTTP/1.1 {status} {reason}"]
@@ -364,7 +388,9 @@ class AnalysisServer:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    async def _route(self, request) -> tuple[int, bytes, dict]:
+    async def _route(
+        self, request: _Request
+    ) -> tuple[int, bytes, dict[str, str]]:
         parts = [p for p in request.path.split("/") if p]
         method = request.method
         if parts == ["healthz"] and method == "GET":
@@ -378,7 +404,9 @@ class AnalysisServer:
             return await self._route_sessions(request, parts[1:])
         return 404, _json_body({"error": f"no such path: {request.path}"}), {}
 
-    async def _route_sessions(self, request, rest) -> tuple[int, bytes, dict]:
+    async def _route_sessions(
+        self, request: _Request, rest: list[str]
+    ) -> tuple[int, bytes, dict[str, str]]:
         method = request.method
         loop = asyncio.get_running_loop()
         if not rest:
@@ -431,8 +459,10 @@ class AnalysisServer:
             return self._conditional(request, *snapshot)
         raise ServeError(404, f"no such path: {request.path}")
 
-    def _create_session(self, request) -> tuple[int, bytes, dict]:
-        overrides: dict = {}
+    def _create_session(
+        self, request: _Request
+    ) -> tuple[int, bytes, dict[str, str]]:
+        overrides: dict[str, Any] = {}
         if request.body:
             try:
                 spec = json.loads(request.body)
@@ -460,8 +490,8 @@ class AnalysisServer:
         return 201, _json_body(session.status()), {}
 
     def _conditional(
-        self, request, etag: str, body: bytes
-    ) -> tuple[int, bytes, dict]:
+        self, request: _Request, etag: str, body: bytes
+    ) -> tuple[int, bytes, dict[str, str]]:
         headers = {"ETag": etag, "Cache-Control": "no-cache"}
         match = request.headers.get("if-none-match")
         if match is not None and _etag_matches(match, etag):

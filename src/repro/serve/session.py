@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.analysis.budget import ResourceBudget, StateLedger
 from repro.analysis.render import ReportRenderer
@@ -72,11 +72,11 @@ class ChunkFeeder:
 
     def __init__(self, max_buffered: int = 8 * 1024 * 1024) -> None:
         self.max_buffered = max_buffered
-        self.bytes_fed = 0
-        self._chunks: deque[bytes] = deque()
-        self._buffered = 0
-        self._eof = False
-        self._abort_reason: str | None = None
+        self.bytes_fed = 0  # guarded-by: _cond
+        self._chunks: deque[bytes] = deque()  # guarded-by: _cond
+        self._buffered = 0  # guarded-by: _cond
+        self._eof = False  # guarded-by: _cond
+        self._abort_reason: str | None = None  # guarded-by: _cond
         self._cond = threading.Condition()
 
     def feed(self, data: bytes) -> None:
@@ -157,15 +157,15 @@ class _SharedHealth(TraceHealth):
     the overflow marker.
     """
 
-    def __init__(self, lock: threading.RLock, **kwargs) -> None:
+    def __init__(self, lock: threading.RLock, **kwargs: Any) -> None:
         super().__init__(**kwargs)
         self._lock = lock
 
-    def record(self, *args, **kwargs):
+    def record(self, *args: Any, **kwargs: Any) -> Any:
         with self._lock:
             return super().record(*args, **kwargs)
 
-    def merge(self, other) -> None:
+    def merge(self, other: TraceHealth) -> None:
         with self._lock:
             super().merge(other)
 
@@ -198,13 +198,13 @@ class AnalysisSession:
             if budget is not None and budget.bounded
             else None
         )
-        self.renderer = ReportRenderer(
+        self.renderer = ReportRenderer(  # guarded-by: lock
             health=health,
             degradation=self._ledger.summary if self._ledger else None,
         )
         self.feeder = ChunkFeeder()
-        self.state = "open"
-        self.error: str | None = None
+        self.state = "open"  # guarded-by: lock
+        self.error: str | None = None  # guarded-by: lock
         self._strict = strict
         self._kwargs = dict(
             sniffer_location=sniffer_location,
@@ -254,8 +254,13 @@ class AnalysisSession:
     # ------------------------------------------------------------------
     def feed(self, data: bytes) -> int:
         """Append uploaded bytes; returns the session's running total."""
-        if self.state not in ("open",):
-            raise ServeError(409, f"session {self.id} is {self.state}")
+        # The state read must hold the lock (RL009): a torn read
+        # against the analysis thread's failure transition could admit
+        # bytes into an already-failed session.
+        with self.lock:
+            state = self.state
+        if state not in ("open",):
+            raise ServeError(409, f"session {self.id} is {state}")
         self.feeder.feed(data)
         return self.feeder.bytes_fed
 
@@ -287,9 +292,9 @@ class AnalysisSession:
         with self.lock:
             return self.renderer.render_health()
 
-    def status(self) -> dict:
+    def status(self) -> dict[str, Any]:
         with self.lock:
-            status = {
+            status: dict[str, Any] = {
                 "id": self.id,
                 "state": self.state,
                 "bytes_received": self.feeder.bytes_fed,
@@ -308,16 +313,16 @@ class AnalysisSession:
 class SessionManager:
     """The server's session registry, cap, and drain discipline."""
 
-    def __init__(self, max_sessions: int = 64, **session_defaults) -> None:
+    def __init__(self, max_sessions: int = 64, **session_defaults: Any) -> None:
         self.max_sessions = max_sessions
         self.session_defaults = session_defaults
-        self._sessions: dict[str, AnalysisSession] = {}
+        self._sessions: dict[str, AnalysisSession] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._counter = 0
-        self._draining = False
+        self._counter = 0  # guarded-by: _lock
+        self._draining = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------
-    def create(self, **overrides) -> AnalysisSession:
+    def create(self, **overrides: Any) -> AnalysisSession:
         kwargs = {**self.session_defaults, **overrides}
         with self._lock:
             if self._draining:

@@ -1,0 +1,13 @@
+import time
+
+
+def pump() -> None:
+    time.sleep(0.5)
+
+
+async def handle() -> None:
+    pump()
+
+
+async def direct() -> None:
+    time.sleep(0.1)

@@ -1,0 +1,15 @@
+import asyncio
+import time
+
+
+def pump() -> None:
+    time.sleep(0.5)
+
+
+async def handle() -> None:
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, pump)
+
+
+async def waiter(event) -> None:
+    await event.wait()

@@ -1,0 +1,17 @@
+import threading
+
+
+class Session:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.state = "open"  # guarded-by: lock
+
+    def ok(self) -> str:
+        with self.lock:
+            return self.state
+
+    def racy_read(self) -> str:
+        return self.state
+
+    def racy_write(self) -> None:
+        self.state = "done"

@@ -1,0 +1,30 @@
+import threading
+
+
+class Session:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.state = "open"  # guarded-by: lock
+
+    def ok(self) -> str:
+        with self.lock:
+            return self.state
+
+    def advance(self) -> None:
+        with self.lock:
+            self.state = "done"
+
+    def drain(self) -> str:
+        self.lock.acquire(timeout=1.0)
+        try:
+            return self.state
+        finally:
+            self.lock.release()
+
+
+class Unannotated:
+    def __init__(self) -> None:
+        self.state = "open"
+
+    def read(self) -> str:
+        return self.state

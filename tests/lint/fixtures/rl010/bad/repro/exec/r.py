@@ -1,0 +1,14 @@
+def leak(path):
+    handle = open(path, "rb")
+    return handle.read()
+
+
+def happy_only(path):
+    handle = open(path, "rb")
+    data = handle.read()
+    handle.close()
+    return data
+
+
+def discarded(path):
+    open(path, "rb")

@@ -1,0 +1,20 @@
+def fine(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def finally_closed(path):
+    handle = open(path, "rb")
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def handed_off(path, registry):
+    handle = open(path, "rb")
+    registry.adopt(handle)
+
+
+def escaping(path):
+    return open(path, "rb")

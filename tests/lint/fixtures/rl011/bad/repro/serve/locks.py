@@ -1,0 +1,16 @@
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def forward() -> None:
+    with LOCK_A:
+        with LOCK_B:
+            pass
+
+
+def backward() -> None:
+    with LOCK_B:
+        with LOCK_A:
+            pass

@@ -1,0 +1,20 @@
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def helper() -> None:
+    with LOCK_B:
+        pass
+
+
+def consistent() -> None:
+    with LOCK_A:
+        helper()
+
+
+def also_consistent() -> None:
+    with LOCK_A:
+        with LOCK_B:
+            pass

@@ -76,6 +76,68 @@ class TestJsonOutput:
         assert payload["findings"] == []
 
 
+class TestSarifOutput:
+    def test_document_shape_and_findings(self, capsys):
+        code = lint("--root", str(BAD), "--format", "sarif", str(BAD))
+        assert code == EXIT_FINDINGS
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        (run,) = document["runs"]
+        assert run["tool"]["driver"]["name"] == "repro.lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "RL003" in rule_ids  # full catalog, not just firing rules
+        assert "RL011" in rule_ids
+        results = run["results"]
+        assert {r["ruleId"] for r in results} == {"RL003"}
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == (
+            "repro/workloads/runner.py"
+        )
+        # SARIF columns are 1-based; the text format's are ast's 0-based.
+        assert location["region"]["startColumn"] >= 1
+
+    def test_clean_tree_still_emits_a_valid_document(self, capsys):
+        code = lint("--root", str(GOOD), "--format", "sarif", str(GOOD))
+        assert code == EXIT_CLEAN
+        document = json.loads(capsys.readouterr().out)
+        assert document["runs"][0]["results"] == []
+
+    def test_sarif_bytes_are_deterministic(self, capsys):
+        lint("--root", str(BAD), "--format", "sarif", str(BAD))
+        first = capsys.readouterr().out
+        lint("--root", str(BAD), "--format", "sarif", str(BAD))
+        assert capsys.readouterr().out == first
+
+    def test_format_json_is_the_json_flag(self, capsys):
+        lint("--root", str(BAD), "--format", "json", str(BAD))
+        via_format = capsys.readouterr().out
+        lint("--root", str(BAD), "--json", str(BAD))
+        assert capsys.readouterr().out == via_format
+
+
+class TestParallelLoad:
+    def test_jobs_4_is_byte_identical_to_jobs_1(self, capsys):
+        # The satellite contract: findings come back in deterministic
+        # path-then-line order whatever the worker count.
+        src = Path(__file__).resolve().parents[2] / "src" / "repro" / "lint"
+        root = src.parents[1]
+        code_serial = lint("--root", str(root), "--jobs", "1", str(src))
+        serial = capsys.readouterr()
+        code_parallel = lint("--root", str(root), "--jobs", "4", str(src))
+        parallel = capsys.readouterr()
+        assert code_parallel == code_serial
+        assert parallel.out == serial.out
+
+    def test_jobs_parse_errors_still_exit_two(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        code = lint(
+            "--root", str(tmp_path), "--jobs", "2", str(tmp_path)
+        )
+        assert code == EXIT_USAGE
+        assert "error" in capsys.readouterr().err
+
+
 class TestBaselineWorkflow:
     def test_write_then_gate(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"

@@ -175,10 +175,10 @@ class TestBaseline:
 
 
 class TestEngine:
-    def test_registry_has_the_seven_rules(self):
+    def test_registry_has_the_eleven_rules(self):
         assert sorted(RULES) == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-            "RL007",
+            "RL007", "RL008", "RL009", "RL010", "RL011",
         ]
         for rule in RULES.values():
             assert rule.id and rule.summary and rule.severity

@@ -1,0 +1,310 @@
+"""Runtime lock-order recorder: the dynamic cross-check for RL011.
+
+RL011 proves the *static* acquires-while-holding graph acyclic.  This
+pytest plugin checks the same property at runtime: it wraps
+``threading.Lock``/``threading.RLock`` so every acquire records a
+``held -> acquired`` edge (keyed by the lock's construction site), and
+fails the session if the observed graph contains a cycle — two code
+paths that really did take the same locks in opposite orders, i.e. a
+deadlock waiting for the right interleaving.
+
+Only locks *constructed* from repo code (``src/repro``) are
+instrumented; stdlib-internal locks (queue, logging, asyncio) pass
+through untouched, so the recorder adds no noise and near-zero
+overhead to everything else.  Locks reached through
+``threading.Condition()`` are covered too: the construction-site walk
+skips ``threading.py`` frames, so a feeder's condition variable is
+attributed to the feeder, and the proxy forwards the
+``_release_save``/``_acquire_restore`` hooks ``Condition.wait`` uses —
+the held-set correctly drops the lock for the duration of a wait.
+
+Enable with ``-p tests.lockorder_plugin`` (CI's ``concurrency-smoke``
+job runs ``tests/serve`` and ``tests/exec`` under it).  On an observed
+inversion the session exit code becomes 3 and the report names both
+witness sites, mirroring RL011's two-chain message.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from collections import deque
+from typing import Any, Iterator
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+INSTRUMENTED_SUBTREE = os.path.join(REPO_ROOT, "src", "repro")
+
+#: pytest exit code on an observed inversion (2 is internal error,
+#: 1 is test failures; 3 keeps the signal distinguishable in CI logs).
+EXIT_LOCK_ORDER = 3
+
+_THREADING_FILE = threading.__file__
+_PLUGIN_FILE = os.path.abspath(__file__)
+
+
+def _construction_site() -> str:
+    """``path:line`` of the frame that asked for the lock, skipping
+    this plugin and ``threading`` internals (``Condition.__init__``
+    building its default RLock must attribute to Condition's caller)."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename not in (_PLUGIN_FILE, _THREADING_FILE):
+            return f"{os.path.abspath(filename)}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>:0"
+
+
+def _in_repo(site: str) -> bool:
+    return site.startswith(INSTRUMENTED_SUBTREE + os.sep)
+
+
+def _relative(site: str) -> str:
+    path, _, line = site.rpartition(":")
+    if path.startswith(REPO_ROOT + os.sep):
+        path = path[len(REPO_ROOT) + 1 :]
+    return f"{path}:{line}"
+
+
+class LockOrderRecorder:
+    """The observed acquires-while-holding graph.
+
+    Nodes are lock construction sites (all locks born on one line are
+    one node — instance identity does not matter for ordering rules,
+    same as RL011's attribute paths).  Edges carry the first witness:
+    which thread, at which line, acquired the target while holding the
+    source.
+    """
+
+    def __init__(self) -> None:
+        self._held = threading.local()
+        self._mutex = _REAL_LOCK()
+        # {(held site, acquired site): (thread name, acquire site)}
+        self.edges: dict[tuple[str, str], tuple[str, str]] = {}
+
+    # -- proxy callbacks ------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def on_acquire(self, site: str) -> None:
+        stack = self._stack()
+        if stack:
+            frame = sys._getframe(2)
+            where = f"{os.path.abspath(frame.f_code.co_filename)}:{frame.f_lineno}"
+            witness = (threading.current_thread().name, _relative(where))
+            with self._mutex:
+                for held in stack:
+                    if held != site:
+                        self.edges.setdefault((held, site), witness)
+        stack.append(site)
+
+    def on_release(self, site: str) -> None:
+        stack = self._stack()
+        # Release order need not be LIFO; drop the innermost match.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == site:
+                del stack[index]
+                return
+
+    # -- verdict ---------------------------------------------------------
+    def inversions(self) -> list[list[str]]:
+        """Cycles in the observed order graph, each as the site list
+        ``[a, b, ..., a]``, deterministically ordered."""
+        with self._mutex:
+            adjacency: dict[str, set[str]] = {}
+            for held, acquired in self.edges:
+                adjacency.setdefault(held, set()).add(acquired)
+        cycles: list[list[str]] = []
+        for start in sorted(adjacency):
+            path = _path_back_to(adjacency, start)
+            if path is not None and min(path[:-1]) == start:
+                cycles.append(path)  # report each cycle once, anchored
+        return cycles
+
+    def describe(self, cycle: list[str]) -> list[str]:
+        lines = []
+        with self._mutex:
+            for held, acquired in zip(cycle, cycle[1:]):
+                thread, where = self.edges[(held, acquired)]
+                lines.append(
+                    f"  {_relative(held)} held while acquiring "
+                    f"{_relative(acquired)} (thread {thread!r} at {where})"
+                )
+        return lines
+
+
+def _path_back_to(
+    adjacency: dict[str, set[str]], start: str
+) -> list[str] | None:
+    """Shortest ``start -> ... -> start`` cycle, or None."""
+    previous: dict[str, str] = {}
+    queue: deque[str] = deque([start])
+    seen = {start}
+    while queue:
+        node = queue.popleft()
+        for neighbor in sorted(adjacency.get(node, ())):
+            if neighbor == start:
+                path = [node]
+                while path[-1] != start:
+                    path.append(previous[path[-1]])
+                path.reverse()
+                return path + [start]
+            if neighbor in seen:
+                continue
+            previous[neighbor] = node
+            seen.add(neighbor)
+            queue.append(neighbor)
+    return None
+
+
+class _RecordingLock:
+    """A lock proxy that reports acquires/releases to the recorder."""
+
+    __slots__ = ("_inner", "_site", "_recorder")
+
+    def __init__(self, inner: Any, site: str, recorder: LockOrderRecorder) -> None:
+        self._inner = inner
+        self._site = site
+        self._recorder = recorder
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        got = self._inner.acquire(*args, **kwargs)
+        if got:
+            self._recorder.on_acquire(self._site)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._recorder.on_release(self._site)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _at_fork_reinit(self) -> None:
+        self._inner._at_fork_reinit()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<recorded {self._inner!r} from {_relative(self._site)}>"
+
+
+class _RecordingRLock(_RecordingLock):
+    """The RLock proxy: adds the hooks ``Condition`` probes for.
+
+    A plain-Lock proxy must NOT define these — ``Condition.__init__``
+    takes any ``_is_owned``/``_release_save``/``_acquire_restore`` it
+    finds, and forwarding them to a plain ``_thread.lock`` would
+    explode at wait time; the Lock proxy leaves Condition to its
+    acquire/release fallbacks (which route through the proxy anyway).
+    """
+
+    __slots__ = ()
+
+    # Condition.wait's hand-off hooks: the lock is *not* held while
+    # waiting, and the recorder's held-set must agree or every acquire
+    # made by the woken thread would fabricate held-while edges.
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+    def _release_save(self) -> Any:
+        self._recorder.on_release(self._site)
+        return self._inner._release_save()
+
+    def _acquire_restore(self, state: Any) -> None:
+        self._inner._acquire_restore(state)
+        self._recorder.on_acquire(self._site)
+
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_ACTIVE: LockOrderRecorder | None = None
+
+
+def _reset_after_fork() -> None:
+    # A WorkPool fork can inherit the recorder's mutex mid-acquire;
+    # the child's recordings are lost anyway, so give it fresh state.
+    if _ACTIVE is not None:
+        _ACTIVE._mutex = _REAL_LOCK()
+        _ACTIVE._held = threading.local()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+def install() -> LockOrderRecorder:
+    """Patch the ``threading`` factories; returns the live recorder."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("lock-order recorder already installed")
+    recorder = LockOrderRecorder()
+
+    def recording_lock() -> Any:
+        site = _construction_site()
+        inner = _REAL_LOCK()
+        if not _in_repo(site):
+            return inner
+        return _RecordingLock(inner, site, recorder)
+
+    def recording_rlock() -> Any:
+        site = _construction_site()
+        inner = _REAL_RLOCK()
+        if not _in_repo(site):
+            return inner
+        return _RecordingRLock(inner, site, recorder)
+
+    threading.Lock = recording_lock  # type: ignore[misc, assignment]
+    threading.RLock = recording_rlock  # type: ignore[misc, assignment]
+    _ACTIVE = recorder
+    return recorder
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    threading.Lock = _REAL_LOCK  # type: ignore[misc]
+    threading.RLock = _REAL_RLOCK  # type: ignore[misc]
+    _ACTIVE = None
+
+
+# ---------------------------------------------------------------------- #
+# The pytest hooks                                                        #
+# ---------------------------------------------------------------------- #
+def pytest_configure(config: Any) -> None:
+    config._lockorder_recorder = install()
+
+
+def pytest_sessionfinish(session: Any, exitstatus: int) -> None:
+    recorder = getattr(session.config, "_lockorder_recorder", None)
+    if recorder is None:
+        return
+    cycles = recorder.inversions()
+    edge_count = len(recorder.edges)
+    lines = [
+        "",
+        f"lock-order recorder: {edge_count} held-while-acquiring "
+        f"edge(s) observed",
+    ]
+    if cycles:
+        lines.append(
+            f"OBSERVED LOCK-ORDER INVERSION(S): {len(cycles)} cycle(s)"
+        )
+        for cycle in cycles:
+            lines.append(" cycle:")
+            lines.extend(recorder.describe(cycle))
+        session.exitstatus = EXIT_LOCK_ORDER
+    print("\n".join(lines))
+
+
+def pytest_unconfigure(config: Any) -> None:
+    if getattr(config, "_lockorder_recorder", None) is not None:
+        uninstall()
+        config._lockorder_recorder = None

@@ -1,0 +1,194 @@
+"""The runtime lock-order recorder: RL011's dynamic cross-check.
+
+These tests drive the recorder directly (no pytest-in-pytest): real
+threads, real locks, seeded orders.  The plugin's factory patching is
+exercised through install()/uninstall() with construction sites forced
+into the instrumented subtree.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from tests.lockorder_plugin import (
+    LockOrderRecorder,
+    _RecordingLock,
+    _RecordingRLock,
+    install,
+    uninstall,
+)
+
+
+def make_lock(recorder: LockOrderRecorder, site: str) -> _RecordingLock:
+    return _RecordingLock(threading.Lock(), site, recorder)
+
+
+def run_thread(fn) -> None:
+    thread = threading.Thread(target=fn)
+    thread.start()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+
+
+class TestRecorder:
+    def test_consistent_order_has_no_inversion(self):
+        recorder = LockOrderRecorder()
+        a = make_lock(recorder, "/x/a.py:1")
+        b = make_lock(recorder, "/x/b.py:1")
+        for _ in range(2):
+            with a:
+                with b:
+                    pass
+        assert recorder.edges == {
+            ("/x/a.py:1", "/x/b.py:1"): recorder.edges[
+                ("/x/a.py:1", "/x/b.py:1")
+            ]
+        }
+        assert recorder.inversions() == []
+
+    def test_opposite_orders_in_two_threads_is_a_cycle(self):
+        recorder = LockOrderRecorder()
+        a = make_lock(recorder, "/x/a.py:1")
+        b = make_lock(recorder, "/x/b.py:1")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        run_thread(forward)
+        run_thread(backward)
+        cycles = recorder.inversions()
+        assert cycles == [["/x/a.py:1", "/x/b.py:1", "/x/a.py:1"]]
+        description = "\n".join(recorder.describe(cycles[0]))
+        assert "a.py:1 held while acquiring" in description
+        assert "b.py:1 held while acquiring" in description
+
+    def test_three_lock_rotation_is_one_anchored_cycle(self):
+        recorder = LockOrderRecorder()
+        sites = ["/x/a.py:1", "/x/b.py:1", "/x/c.py:1"]
+        locks = {s: make_lock(recorder, s) for s in sites}
+        for held, acquired in (
+            (sites[0], sites[1]), (sites[1], sites[2]), (sites[2], sites[0]),
+        ):
+            def pair(h=held, a=acquired):
+                with locks[h]:
+                    with locks[a]:
+                        pass
+            run_thread(pair)
+        cycles = recorder.inversions()
+        assert len(cycles) == 1
+        assert cycles[0][0] == cycles[0][-1] == "/x/a.py:1"
+        assert set(cycles[0]) == set(sites)
+
+    def test_same_site_reentry_is_not_an_edge(self):
+        # Two locks born on the same line are one node (RL011 keys by
+        # attribute path, the recorder by construction site): nesting
+        # them must not fabricate a self-cycle.
+        recorder = LockOrderRecorder()
+        outer = make_lock(recorder, "/x/same.py:9")
+        inner = make_lock(recorder, "/x/same.py:9")
+        with outer:
+            with inner:
+                pass
+        assert recorder.edges == {}
+        assert recorder.inversions() == []
+
+    def test_condition_wait_releases_the_held_set(self):
+        # While a thread waits on a condition its lock is NOT held;
+        # acquires made after wakeup must not edge from it.  The proxy
+        # forwards _release_save/_acquire_restore to keep this true.
+        recorder = LockOrderRecorder()
+        cond_lock = _RecordingRLock(
+            threading.RLock(), "/x/cond.py:1", recorder
+        )
+        cond = threading.Condition(cond_lock)  # type: ignore[arg-type]
+        other = make_lock(recorder, "/x/other.py:1")
+        started = threading.Event()
+
+        def waiter():
+            with cond:
+                started.set()
+                cond.wait(timeout=10.0)
+
+        def poker():
+            started.wait(timeout=10.0)
+            with other:  # must not record cond -> other: cond is free
+                pass
+            with cond:
+                cond.notify_all()
+
+        waiting = threading.Thread(target=waiter)
+        waiting.start()
+        run_thread(poker)
+        waiting.join(timeout=10.0)
+        assert not waiting.is_alive()
+        assert ("/x/cond.py:1", "/x/other.py:1") not in recorder.edges
+
+    def test_failed_nonblocking_acquire_records_nothing(self):
+        recorder = LockOrderRecorder()
+        a = make_lock(recorder, "/x/a.py:1")
+        b = make_lock(recorder, "/x/b.py:1")
+        b._inner.acquire()  # someone else holds b
+        with a:
+            assert b.acquire(blocking=False) is False
+        b._inner.release()
+        assert recorder.edges == {}
+
+
+@pytest.fixture()
+def factories_free():
+    # Under `-p tests.lockorder_plugin` the factories are already
+    # patched for the whole session; these install/uninstall drills
+    # need them free.
+    import tests.lockorder_plugin as plugin
+
+    if plugin._ACTIVE is not None:
+        pytest.skip("lock-order recorder active session-wide")
+
+
+@pytest.mark.usefixtures("factories_free")
+class TestFactoryPatch:
+    def test_install_wraps_repo_constructions_only(self, monkeypatch):
+        recorder = install()
+        try:
+            import repro.serve.session as session_module
+
+            feeder = session_module.ChunkFeeder()
+            # The Condition's internal RLock is attributed through
+            # threading.py to the feeder's constructor in src/repro.
+            assert isinstance(
+                feeder._cond._lock,  # type: ignore[attr-defined]
+                _RecordingLock,
+            )
+            # A lock born in test code is outside src/repro: untouched.
+            assert not isinstance(threading.Lock(), _RecordingLock)
+            feeder.feed(b"xy")
+            feeder.close()
+            assert feeder.read(2) == b"xy"
+            assert recorder.inversions() == []
+        finally:
+            uninstall()
+
+    def test_double_install_refuses(self):
+        install()
+        try:
+            with pytest.raises(RuntimeError):
+                install()
+        finally:
+            uninstall()
+
+    def test_uninstall_restores_the_factories(self):
+        before_lock = threading.Lock
+        before_rlock = threading.RLock
+        install()
+        uninstall()
+        assert threading.Lock is before_lock
+        assert threading.RLock is before_rlock
